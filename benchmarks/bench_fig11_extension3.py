@@ -1,0 +1,33 @@
+"""Figure 11 (a, b): Extension 3 with partition levels 1 / 2 / 3.
+
+Paper claims to reproduce: more pivot levels ensure more minimal paths
+(level 3 >= level 2 >= level 1 >= safe source), with visible jumps when a
+level is added.
+"""
+
+from repro.experiments import ExperimentConfig, fig11_extension3
+
+from conftest import column_mean
+
+TOLERANCE = 0.02
+
+
+def test_fig11_extension3(benchmark, record_series):
+    config = ExperimentConfig.from_environment()
+    series = benchmark.pedantic(fig11_extension3, args=(config,), rounds=1, iterations=1)
+    record_series(series)
+
+    for suffix in ("", "a"):
+        safe = series.column(f"safe_source{suffix}")
+        level1 = series.column(f"ext3_level1{suffix}")
+        level2 = series.column(f"ext3_level2{suffix}")
+        level3 = series.column(f"ext3_level3{suffix}")
+        exist = series.column(f"existence{suffix}")
+        for s, l1, l2, l3, ex in zip(safe, level1, level2, level3, exist):
+            assert l1 >= s - TOLERANCE
+            assert l2 >= l1 - TOLERANCE
+            assert l3 >= l2 - TOLERANCE
+            assert ex >= l3 - TOLERANCE
+    # Adding levels buys measurable percentage on average.
+    assert column_mean(series, "ext3_level3") >= column_mean(series, "safe_source")
+    benchmark.extra_info["level3_mean"] = column_mean(series, "ext3_level3")

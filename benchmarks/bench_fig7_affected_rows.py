@@ -1,0 +1,30 @@
+"""Figure 7: expected percentage of affected rows (and columns).
+
+Paper claims to reproduce: the analytical model (Theorem 2) tracks the
+simulated percentage closely across the whole fault range; roughly 20% of
+rows are affected at k=50, 40% at k=100 and 60% at k=200 (at paper scale).
+"""
+
+from repro.experiments import ExperimentConfig, fig7_affected_rows
+
+from conftest import column_mean
+
+
+def test_fig7_affected_rows(benchmark, record_series):
+    config = ExperimentConfig.from_environment()
+    series = benchmark.pedantic(
+        fig7_affected_rows, args=(config,), rounds=1, iterations=1
+    )
+    record_series(series)
+
+    analytical = series.column("analytical")
+    experimental = series.column("experimental")
+    # Shape: analytical ~= experimental pointwise (within a few percent of
+    # the row count), and both increase with the fault count.
+    for a, e in zip(analytical, experimental):
+        assert abs(a - e) < 0.05
+    assert analytical == sorted(analytical)
+    assert experimental[-1] > experimental[0]
+    benchmark.extra_info["mean_abs_gap"] = sum(
+        abs(a - e) for a, e in zip(analytical, experimental)
+    ) / len(analytical)

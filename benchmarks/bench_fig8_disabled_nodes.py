@@ -1,0 +1,27 @@
+"""Figure 8: average number of disabled nodes in a faulty block.
+
+Paper claims to reproduce: both models sacrifice very few healthy nodes at
+the simulated densities (scattered faults rarely form large blocks), and the
+MCC model never sacrifices more than the faulty block model.
+"""
+
+from repro.experiments import ExperimentConfig, fig8_disabled_nodes
+
+from conftest import column_mean
+
+
+def test_fig8_disabled_nodes(benchmark, record_series):
+    config = ExperimentConfig.from_environment()
+    series = benchmark.pedantic(
+        fig8_disabled_nodes, args=(config,), rounds=1, iterations=1
+    )
+    record_series(series)
+
+    wu = series.column("wu_model")
+    mcc = series.column("mcc")
+    # Shape: MCC <= Wu's model pointwise; both small on scattered faults.
+    for w, m in zip(wu, mcc):
+        assert m <= w + 1e-9
+    assert max(wu) < 5.0  # "the actual number ... are both very small"
+    benchmark.extra_info["wu_mean"] = column_mean(series, "wu_model")
+    benchmark.extra_info["mcc_mean"] = column_mean(series, "mcc")

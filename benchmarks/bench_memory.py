@@ -1,0 +1,42 @@
+"""Memory-footprint bench: the paper's scalability argument, quantified.
+
+The introduction claims the coded information model "reduces the memory
+requirement to store fault information at each node" versus detailed global
+state.  This bench measures words-of-state per node for each information
+model on a paper-density scenario and asserts the claimed ordering.
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.memory_model import measure_memory
+from repro.faults.injection import generate_scenario
+
+from conftest import OUT_DIR
+
+
+def test_memory_footprints(benchmark, capsys):
+    config = ExperimentConfig.from_environment()
+    rng = np.random.default_rng(31)
+    scenario = generate_scenario(
+        config.mesh, max(config.fault_counts), rng, source=config.source
+    )
+
+    report = benchmark.pedantic(
+        measure_memory, args=(scenario.blocks,), rounds=1, iterations=1
+    )
+    table = report.to_table()
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "memory_model.txt").write_text(table + "\n")
+    with capsys.disabled():
+        print("\n" + table)
+
+    # The paper's ordering: coded-per-node state is orders of magnitude
+    # below the routing-table model and below the global fault map once
+    # blocks are numerous.
+    assert report.esl_per_node < report.routing_table_per_node / 100
+    assert report.esl_per_node < report.global_map_per_node
+    # Even the max-annotated node stays far below global state.
+    assert report.esl_max_node < report.routing_table_per_node / 10
+    benchmark.extra_info["esl_words_avg"] = report.esl_per_node
+    benchmark.extra_info["routing_table_words"] = report.routing_table_per_node

@@ -1,0 +1,40 @@
+"""Mesh-size invariance: the licence for the reduced-scale presets.
+
+EXPERIMENTS.md compares quick-preset curve *shapes* against the paper's
+200x200 results on the grounds that, at fixed fault density, the percentage
+metrics barely depend on the mesh side.  This bench measures that claim:
+safe-source / Extension-1 / existence percentages across mesh sides at the
+paper's top density, asserting the spread stays within a few points.
+"""
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.sweeps import mesh_size_sweep
+
+from conftest import OUT_DIR
+
+
+def test_mesh_size_invariance(benchmark, capsys):
+    full = ExperimentConfig.from_environment().mesh_side == 200
+    sides = (50, 100, 150, 200) if full else (40, 60, 80)
+    patterns = 12 if full else 6
+    series = benchmark.pedantic(
+        mesh_size_sweep,
+        kwargs={"sides": sides, "patterns_per_side": patterns},
+        rounds=1,
+        iterations=1,
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "sweep_size.txt").write_text(series.render())
+    with capsys.disabled():
+        print()
+        print(series.to_table())
+
+    # The metrics stay roughly flat across sides at fixed density.  The
+    # existence baseline is the tightest (nearly 1 everywhere); the
+    # condition percentages may wobble with pattern luck but not trend away.
+    exist = series.column("existence")
+    assert max(exist) - min(exist) < 0.05
+    ext1 = series.column("ext1_min")
+    assert max(ext1) - min(ext1) < 0.15
+    benchmark.extra_info["existence_spread"] = max(exist) - min(exist)
+    benchmark.extra_info["ext1_spread"] = max(ext1) - min(ext1)

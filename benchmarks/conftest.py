@@ -1,0 +1,37 @@
+"""Shared helpers for the figure benchmarks.
+
+Each figure bench runs the experiment once under pytest-benchmark timing,
+prints the reproduced series (table + ASCII plot), and writes the artifacts
+to ``benchmarks/out/<figure>.txt`` / ``.csv`` so the reproduction record
+survives output capture.  Set ``REPRO_FULL=1`` for the paper-scale run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.report import FigureSeries
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def record_series(capsys):
+    """Persist and display a reproduced figure."""
+
+    def _record(series: FigureSeries) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{series.figure_id}.txt").write_text(series.render())
+        (OUT_DIR / f"{series.figure_id}.csv").write_text(series.to_csv())
+        with capsys.disabled():
+            print()
+            print(series.to_table())
+
+    return _record
+
+
+def column_mean(series: FigureSeries, name: str) -> float:
+    values = series.column(name)
+    return sum(values) / len(values)

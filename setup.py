@@ -1,0 +1,8 @@
+"""Legacy shim: lets ``pip install -e .`` work without the wheel package.
+
+All metadata lives in pyproject.toml; see the note there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""repro: Extended Minimal Routing in 2-D Meshes with Faulty Blocks.
+
+A full reproduction of Wu & Jiang (ICDCS 2002 / IJHPCN 2004): the faulty
+block and MCC fault models, extended safety levels, the sufficient safe
+condition and its three extensions, Wu's boundary-information minimal
+routing protocol, the optimal existence baseline, the distributed
+information-formation protocols, and the complete simulation study
+(Figures 7-12).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        Mesh2D, generate_scenario, compute_safety_levels,
+        is_safe, WuRouter,
+    )
+
+    mesh = Mesh2D(32, 32)
+    rng = np.random.default_rng(7)
+    scenario = generate_scenario(mesh, num_faults=12, rng=rng)
+    levels = compute_safety_levels(mesh, scenario.blocks.unusable)
+    source, dest = mesh.center, (28, 28)
+    if is_safe(levels, source, dest):
+        path = WuRouter(mesh, scenario.blocks).route(source, dest)
+        assert path.is_minimal
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.mesh import Direction, Frame, Mesh2D, Quadrant, Rect, manhattan_distance
+from repro.faults import (
+    BlockSet,
+    FaultScenario,
+    FaultyBlock,
+    MCCComponent,
+    MCCSet,
+    MCCType,
+    NodeStatus,
+    build_faulty_blocks,
+    build_mccs,
+    generate_scenario,
+    minimal_path_exists,
+    minimal_path_exists_wang,
+    uniform_faults,
+)
+from repro.core import (
+    BoundaryMap,
+    Decision,
+    DecisionKind,
+    SafetyLevels,
+    Strategy,
+    StrategyConfig,
+    UNBOUNDED,
+    WuRouter,
+    compute_safety_levels,
+    extension1_decision,
+    extension2_decision,
+    extension3_decision,
+    is_safe,
+    recursive_center_pivots,
+    route_with_decision,
+    safe_source_decision,
+    strategy_decision,
+)
+from repro.routing import (
+    DetourRouter,
+    GreedyAdaptiveRouter,
+    MonotoneOracleRouter,
+    Path,
+    RoutingError,
+    shortest_path_bfs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockSet",
+    "BoundaryMap",
+    "Decision",
+    "DecisionKind",
+    "DetourRouter",
+    "Direction",
+    "FaultScenario",
+    "FaultyBlock",
+    "Frame",
+    "GreedyAdaptiveRouter",
+    "MCCComponent",
+    "MCCSet",
+    "MCCType",
+    "Mesh2D",
+    "MonotoneOracleRouter",
+    "NodeStatus",
+    "Path",
+    "Quadrant",
+    "Rect",
+    "RoutingError",
+    "SafetyLevels",
+    "Strategy",
+    "StrategyConfig",
+    "UNBOUNDED",
+    "WuRouter",
+    "__version__",
+    "build_faulty_blocks",
+    "build_mccs",
+    "compute_safety_levels",
+    "extension1_decision",
+    "extension2_decision",
+    "extension3_decision",
+    "generate_scenario",
+    "is_safe",
+    "manhattan_distance",
+    "minimal_path_exists",
+    "minimal_path_exists_wang",
+    "recursive_center_pivots",
+    "route_with_decision",
+    "safe_source_decision",
+    "shortest_path_bfs",
+    "strategy_decision",
+    "uniform_faults",
+]

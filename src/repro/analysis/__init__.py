@@ -1,0 +1,24 @@
+"""Analytical models and statistics helpers.
+
+- :mod:`repro.analysis.affected_rows` -- the paper's Theorem 2: expected
+  number of affected rows/columns for ``k`` random faults (Figure 7's
+  analytical curve) plus the experimental counterpart.
+- :mod:`repro.analysis.statistics` -- small, dependency-free estimators
+  (means, binomial confidence intervals) used by the experiment harness so
+  reproduced figures come with honest error bars.
+"""
+
+from repro.analysis.affected_rows import (
+    count_affected_columns,
+    count_affected_rows,
+    expected_affected_rows,
+)
+from repro.analysis.statistics import mean_and_ci, proportion_ci
+
+__all__ = [
+    "count_affected_columns",
+    "count_affected_rows",
+    "expected_affected_rows",
+    "mean_and_ci",
+    "proportion_ci",
+]

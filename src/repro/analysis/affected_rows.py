@@ -1,0 +1,63 @@
+"""Theorem 2: the expected number of affected rows (and columns).
+
+A row (column) is *affected* when it intersects at least one faulty block;
+only nodes on affected rows/columns need to collect extended-safety-level
+information (paper Sec. 4), so this number measures the footprint of the
+limited-global-information model.
+
+The paper's argument: call it a *hit* when a fault lands in a previously
+clean row.  Hits partition ``k`` faults into stages; during stage ``i``
+there are ``n - i + 1`` clean rows, so the stage length ``n_i`` is geometric
+with success probability ``(n - i + 1) / n`` and expectation
+``n / (n - i + 1)``.  The expected number of affected rows is then the
+largest ``x`` whose cumulative expected stage lengths fit within ``k``::
+
+    E[x] = min { x : sum_{i=1..x} n / (n - i + 1) >= k }
+
+(the paper prints this as ``min{ [ k - sum_i n/(n-i+1) ] }``).  Theorem 2
+also notes the count is identical under the faulty block and MCC models: a
+disabled node never generates a new hit because it needs already-unusable
+neighbours in both dimensions, and the test-suite verifies that invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def expected_affected_rows(n: int, k: int) -> float:
+    """Theorem 2's analytical value for ``k`` faults in an ``n x n`` mesh.
+
+    Returns the stage count ``x`` at which the cumulative expected stage
+    lengths first reach ``k``, linearly interpolated between stages so the
+    analytical curve is smooth (the paper plots it as a continuous line).
+    ``k`` may exceed the small-``k`` regime; the value saturates at ``n``.
+    """
+    if n < 1:
+        raise ValueError("mesh side must be positive")
+    if k < 0:
+        raise ValueError("fault count cannot be negative")
+    if k == 0:
+        return 0.0
+    cumulative = 0.0
+    for x in range(1, n + 1):
+        stage = n / (n - x + 1)
+        if cumulative + stage >= k:
+            # Interpolate within stage x: the fraction of the stage consumed.
+            return (x - 1) + (k - cumulative) / stage
+        cumulative += stage
+    return float(n)
+
+
+def count_affected_rows(unusable: np.ndarray) -> int:
+    """Rows intersecting at least one faulty block (experimental metric).
+
+    ``unusable`` is the blocked-node grid, indexed ``[x, y]``; a *row* is a
+    fixed ``y``.
+    """
+    return int(unusable.any(axis=0).sum())
+
+
+def count_affected_columns(unusable: np.ndarray) -> int:
+    """Columns intersecting at least one faulty block."""
+    return int(unusable.any(axis=1).sum())

@@ -1,0 +1,69 @@
+"""Small estimators for the experiment harness.
+
+The paper reports point estimates only; we attach confidence intervals so
+EXPERIMENTS.md can state paper-vs-measured comparisons honestly.  Normal
+approximations are entirely adequate at the trial counts involved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: two-sided z for 95% confidence
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with a symmetric 95% confidence half-width."""
+
+    value: float
+    half_width: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.value - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.value + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.value:.4f} ± {self.half_width:.4f} (n={self.samples})"
+
+
+def mean_and_ci(values: Sequence[float]) -> Estimate:
+    """Sample mean with a normal-approximation 95% CI."""
+    count = len(values)
+    if count == 0:
+        raise ValueError("need at least one sample")
+    mean = sum(values) / count
+    if count == 1:
+        return Estimate(value=mean, half_width=float("inf"), samples=1)
+    variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    half = _Z95 * math.sqrt(variance / count)
+    return Estimate(value=mean, half_width=half, samples=count)
+
+
+def proportion_ci(successes: int, trials: int) -> Estimate:
+    """Binomial proportion with a Wilson-score 95% interval.
+
+    The point estimate is the raw proportion (what the paper plots); the
+    half-width is taken from the Wilson interval, which behaves sensibly at
+    the extremes (0 or all successes) that the high-percentage curves of
+    Figures 9-12 regularly hit.
+    """
+    if trials <= 0:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"impossible count {successes}/{trials}")
+    z2 = _Z95 * _Z95
+    p = successes / trials
+    denom = 1 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    spread = (_Z95 / denom) * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
+    half = max(abs(p - (center - spread)), abs((center + spread) - p))
+    return Estimate(value=p, half_width=half, samples=trials)

@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's workflows:
+
+- ``figures``   reproduce the paper's figures (tables + ASCII plots + CSV);
+- ``scenario``  render a random fault scenario (blocks or MCCs);
+- ``route``     route one packet and show the path on the mesh;
+- ``protocols`` run the distributed information protocols and report cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def _parse_coord(text: str) -> tuple[int, int]:
+    try:
+        x, y = text.split(",")
+        return (int(x), int(y))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected 'x,y', got {text!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Extended minimal routing in 2-D meshes with faulty blocks "
+        "(Wu & Jiang, ICDCS 2002) -- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="reproduce the paper's figures")
+    figures.add_argument(
+        "which",
+        nargs="*",
+        default=["all"],
+        choices=["all", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"],
+        help="figures to run (default: all)",
+    )
+    figures.add_argument("--full", action="store_true", help="paper scale (200x200)")
+    figures.add_argument("--plot", action="store_true", help="include ASCII plots")
+    figures.add_argument("--csv", type=pathlib.Path, help="directory for CSV dumps")
+
+    scenario = sub.add_parser("scenario", help="render a random fault scenario")
+    _common_scenario_args(scenario)
+    scenario.add_argument("--mcc", action="store_true", help="show type-one MCCs")
+
+    route = sub.add_parser("route", help="route one packet and draw the path")
+    _common_scenario_args(route)
+    route.add_argument("--source", type=_parse_coord, help="x,y (default: centre)")
+    route.add_argument("--dest", type=_parse_coord, required=True, help="x,y")
+    route.add_argument(
+        "--router",
+        choices=["wu", "greedy", "detour", "oracle"],
+        default="wu",
+        help="routing policy (default: wu)",
+    )
+
+    protocols = sub.add_parser("protocols", help="distributed info-formation costs")
+    _common_scenario_args(protocols)
+
+    memory = sub.add_parser("memory", help="per-node state for each information model")
+    _common_scenario_args(memory)
+
+    sweep = sub.add_parser("sweep", help="mesh-size invariance sweep")
+    sweep.add_argument(
+        "--sides", type=int, nargs="+", default=[40, 60, 80], help="mesh sides to sweep"
+    )
+    sweep.add_argument("--patterns", type=int, default=6, help="patterns per side")
+    return parser
+
+
+def _common_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--side", type=int, default=24, help="mesh side (default 24)")
+    parser.add_argument("--faults", type=int, default=20, help="fault count (default 20)")
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed (default 7)")
+
+
+# ----------------------------------------------------------------------
+
+
+def _cmd_figures(args, out: Callable[[str], None]) -> int:
+    from repro.experiments import (
+        ExperimentConfig,
+        fig7_affected_rows,
+        fig8_disabled_nodes,
+        fig9_extension1,
+        fig10_extension2,
+        fig11_extension3,
+        fig12_strategies,
+    )
+
+    runners = {
+        "fig7": fig7_affected_rows,
+        "fig8": fig8_disabled_nodes,
+        "fig9": fig9_extension1,
+        "fig10": fig10_extension2,
+        "fig11": fig11_extension3,
+        "fig12": fig12_strategies,
+    }
+    wanted = list(runners) if "all" in args.which else list(dict.fromkeys(args.which))
+    config = ExperimentConfig.paper() if args.full else ExperimentConfig.quick()
+    out(config.describe())
+    for name in wanted:
+        series = runners[name](config, progress=lambda msg: out(f"  {msg}"))
+        out(series.render(with_plot=args.plot))
+        if args.csv:
+            args.csv.mkdir(parents=True, exist_ok=True)
+            (args.csv / f"{name}.csv").write_text(series.to_csv())
+            out(f"wrote {args.csv / f'{name}.csv'}")
+    return 0
+
+
+def _build_scenario(args):
+    from repro.faults.injection import generate_scenario
+    from repro.mesh.topology import Mesh2D
+
+    mesh = Mesh2D(args.side, args.side)
+    rng = np.random.default_rng(args.seed)
+    return generate_scenario(mesh, args.faults, rng), rng
+
+
+def _cmd_scenario(args, out: Callable[[str], None]) -> int:
+    from repro.faults.mcc import MCCType, NodeStatus
+    from repro.viz.ascii_art import render_mesh, render_scenario
+
+    scenario, _ = _build_scenario(args)
+    out(
+        f"{scenario.mesh}: {scenario.num_faults} faults -> "
+        f"{len(scenario.blocks)} blocks ({scenario.blocks.num_disabled} disabled)"
+    )
+    if args.mcc:
+        mccs = scenario.mccs(MCCType.TYPE_ONE)
+        marks = {
+            coord: {"u": "u", "c": "c"}[
+                "u" if mccs.status_at(coord) is NodeStatus.USELESS else "c"
+            ]
+            for coord in scenario.mesh.nodes()
+            if mccs.status_at(coord) in (NodeStatus.USELESS, NodeStatus.CANT_REACH)
+        }
+        out(render_mesh(scenario.mesh, faulty=mccs.faulty, marks=marks))
+        out("legend: # faulty, u useless, c can't-reach, . free")
+    else:
+        out(render_scenario(scenario))
+        out("legend: # faulty, x disabled, . free")
+    return 0
+
+
+def _cmd_route(args, out: Callable[[str], None]) -> int:
+    from repro.core.routing import WuRouter
+    from repro.core.safety import compute_safety_levels
+    from repro.core.conditions import is_safe
+    from repro.routing.detour import DetourRouter
+    from repro.routing.oracle import MonotoneOracleRouter
+    from repro.routing.router import GreedyAdaptiveRouter, RoutingError
+    from repro.viz.ascii_art import render_scenario
+
+    scenario, _ = _build_scenario(args)
+    mesh, blocks = scenario.mesh, scenario.blocks
+    source = args.source if args.source is not None else mesh.center
+    dest = args.dest
+    for endpoint, name in ((source, "source"), (dest, "destination")):
+        if not mesh.in_bounds(endpoint):
+            out(f"error: {name} {endpoint} is outside the mesh")
+            return 2
+        if blocks.is_unusable(endpoint):
+            out(f"error: {name} {endpoint} lies inside a faulty block")
+            return 2
+
+    levels = compute_safety_levels(mesh, blocks.unusable)
+    out(f"safe condition (Definition 3): {is_safe(levels, source, dest)}")
+    routers = {
+        "wu": lambda: WuRouter(mesh, blocks),
+        "greedy": lambda: GreedyAdaptiveRouter(mesh, blocks.unusable),
+        "detour": lambda: DetourRouter(mesh, blocks),
+        "oracle": lambda: MonotoneOracleRouter(mesh, blocks.unusable),
+    }
+    try:
+        path = routers[args.router]().route(source, dest)
+    except RoutingError as error:
+        out(f"{args.router} routing failed: {error}")
+        return 1
+    kind = "minimal" if path.is_minimal else f"{path.detours}-detour"
+    out(f"{args.router} delivered in {path.hops} hops ({kind})")
+    out(render_scenario(scenario, path=path.nodes, source=source, dest=dest))
+    return 0
+
+
+def _cmd_protocols(args, out: Callable[[str], None]) -> int:
+    from repro.core.pivots import recursive_center_pivots
+    from repro.core.safety import compute_safety_levels
+    from repro.faults.mcc import MCCType
+    from repro.mesh.geometry import Rect
+    from repro.simulator.protocols import (
+        run_block_formation,
+        run_boundary_distribution,
+        run_mcc_formation,
+        run_pivot_broadcast,
+        run_region_exchange,
+        run_safety_propagation,
+    )
+
+    scenario, _ = _build_scenario(args)
+    mesh, blocks = scenario.mesh, scenario.blocks
+    levels = compute_safety_levels(mesh, blocks.unusable)
+    center = mesh.center
+    pivots = recursive_center_pivots(
+        Rect(center[0], mesh.n - 1, center[1], mesh.m - 1), 3
+    )
+    runs = [
+        ("block formation", run_block_formation(mesh, scenario.faults).stats),
+        ("MCC labelling", run_mcc_formation(mesh, scenario.faults, MCCType.TYPE_ONE).stats),
+        ("ESL formation", run_safety_propagation(mesh, blocks.unusable).stats),
+        ("boundary lines", run_boundary_distribution(mesh, blocks.rects(), blocks.unusable).stats),
+        ("region exchange", run_region_exchange(mesh, blocks.unusable, levels).stats),
+        (f"pivot broadcast x{len(pivots)}", run_pivot_broadcast(mesh, blocks.unusable, levels, pivots).stats),
+    ]
+    out(f"{scenario.mesh}: {scenario.num_faults} faults, {len(blocks)} blocks")
+    out(f"{'protocol':<24} {'messages':>9} {'converged':>10}")
+    for name, stats in runs:
+        out(f"{name:<24} {stats.messages:>9} {stats.converged_at:>9.0f}t")
+    return 0
+
+
+def _cmd_memory(args, out: Callable[[str], None]) -> int:
+    from repro.experiments.memory_model import measure_memory
+
+    scenario, _ = _build_scenario(args)
+    out(
+        f"{scenario.mesh}: {scenario.num_faults} faults, "
+        f"{len(scenario.blocks)} blocks"
+    )
+    out(measure_memory(scenario.blocks).to_table())
+    return 0
+
+
+def _cmd_sweep(args, out: Callable[[str], None]) -> int:
+    from repro.experiments.sweeps import mesh_size_sweep
+
+    series = mesh_size_sweep(sides=tuple(args.sides), patterns_per_side=args.patterns)
+    out(series.to_table())
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "scenario": _cmd_scenario,
+    "route": _cmd_route,
+    "protocols": _cmd_protocols,
+    "memory": _cmd_memory,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None, out: Callable[[str], None] = print) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,367 @@
+"""Faulty-block boundary lines (paper Sec. 2, Figures 3 and 6).
+
+Faulty-block information (the two opposite corners of each block) is
+distributed to the nodes on the block's four **boundary lines**.  For a
+quadrant-I destination the lines that matter run on the source's side of the
+block:
+
+- ``L1``: the row just South of the block (``y = ymin - 1``), guarding the
+  passage *under* the block; packets travel East along it.
+- ``L3``: the column just West of the block (``x = xmin - 1``), guarding the
+  passage *West of* the block; packets travel North along it.
+- ``L2`` (row ``ymax + 1``) and ``L4`` (column ``xmax + 1``) mark where the
+  block has been passed: the stay-on rules end at ``L1 ∩ L4`` and
+  ``L3 ∩ L2``.
+
+When a line runs into another block, it *joins* the corresponding line of
+that block: the trace turns along the encountered block's near side down to
+its own L1/L3 and continues (paper Figure 3 (b), "L3 of block i joins L3 of
+block j").  A node on the joined polyline therefore carries the corner
+information of every upstream block, and the stored ``toward`` direction
+points along the polyline toward the originating block's exit intersection
+-- exactly the hop a packet must take while the stay-on rule is in force.
+
+The stay-on rules themselves (which destinations make a node *critical*)
+live in :meth:`CanonicalBoundaryMap.forbidden_directions`.  The paper frames
+a critical node as having a "preferred but detour direction" -- a preferred
+direction that must NOT be taken -- and that is exactly how it is encoded:
+
+- on a *straight row section* of (the polyline of) ``L1`` of block *i*,
+  destinations in region ``R6(i) = {x > xmax, ymin <= y <= ymax}`` forbid
+  North: every minimal path passes South of the block, and leaving the line
+  North-ward gets walled in (by block *i* itself on the original L1 row, and
+  by the joined blocks' bands on joined sections, which all straddle the
+  previous row of the polyline);
+- on a *straight column section* of ``L3`` of block *i*, destinations in
+  ``R4(i) = {y > ymax, xmin <= x <= xmax}`` forbid East (mirror argument);
+- *turn sections* (the descent along a joined block's East side, the
+  crossing along its North side) forbid nothing: both preferred directions
+  keep the pass-South / pass-West requirement satisfiable, and the
+  surrounding straight sections re-capture the packet if it strays.
+
+Everything here is written for the canonical "destination to the North-East"
+orientation; :class:`GridReflection` maps the other quadrants onto it by
+index reflection (no translation), and :class:`BoundaryMap` caches one
+canonical map per orientation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.blocks import BlockSet
+from repro.mesh.geometry import Coord, Direction, Rect
+from repro.mesh.topology import Mesh2D
+
+__all__ = ["BoundaryMap", "BoundaryTag", "CanonicalBoundaryMap", "GridReflection", "Line"]
+
+
+class Line(enum.Enum):
+    """The four boundary lines of a block, in the canonical orientation."""
+
+    L1 = "L1"  # row ymin - 1 (South side)
+    L2 = "L2"  # row ymax + 1 (North side)
+    L3 = "L3"  # column xmin - 1 (West side)
+    L4 = "L4"  # column xmax + 1 (East side)
+
+
+@dataclass(frozen=True)
+class BoundaryTag:
+    """One block's boundary information held by one node.
+
+    ``toward`` is the next hop along the (joined) line toward the block's
+    exit intersection (L1 ∩ L4 for L1, L3 ∩ L2 for L3); ``None`` at the
+    intersection itself, where the block has been passed and the rule ends.
+    """
+
+    block_index: int
+    line: Line
+    toward: Direction | None
+
+
+@dataclass(frozen=True)
+class GridReflection:
+    """Pure index reflection of an ``(n, m)`` grid (no translation).
+
+    Maps between real mesh coordinates and a canonical index space in which
+    the destination quadrant becomes quadrant I.  Unlike
+    :class:`~repro.mesh.frames.Frame` the origin stays at a mesh corner, so
+    reflected coordinates remain valid grid indices.
+    """
+
+    n: int
+    m: int
+    flip_x: bool
+    flip_y: bool
+
+    def coord(self, c: Coord) -> Coord:
+        """Reflect a coordinate (an involution)."""
+        x, y = c
+        if self.flip_x:
+            x = self.n - 1 - x
+        if self.flip_y:
+            y = self.m - 1 - y
+        return (x, y)
+
+    def direction(self, d: Direction) -> Direction:
+        """Reflect a direction (an involution)."""
+        if self.flip_x and d.is_horizontal:
+            return d.opposite
+        if self.flip_y and d.is_vertical:
+            return d.opposite
+        return d
+
+    def rect(self, r: Rect) -> Rect:
+        xa, ya = self.coord((r.xmin, r.ymin))
+        xb, yb = self.coord((r.xmax, r.ymax))
+        return Rect(min(xa, xb), max(xa, xb), min(ya, yb), max(ya, yb))
+
+    def grid(self, array: np.ndarray) -> np.ndarray:
+        out = array
+        if self.flip_x:
+            out = out[::-1, :]
+        if self.flip_y:
+            out = out[:, ::-1]
+        return out
+
+
+def _in_r6(rect: Rect, dest: Coord) -> bool:
+    """Destinations triggering the stay-on-L1 rule (East of the block,
+    strictly within its row band): all minimal paths pass South of the
+    block.  A destination on the L1 row itself (``y = ymin - 1``) is *not*
+    critical: paths to it never rise above that row, so the block cannot
+    interfere."""
+    return dest[0] > rect.xmax and rect.ymin <= dest[1] <= rect.ymax
+
+
+def _in_r4(rect: Rect, dest: Coord) -> bool:
+    """Destinations triggering the stay-on-L3 rule (North of the block,
+    strictly within its column band): all minimal paths pass West of the
+    block."""
+    return dest[1] > rect.ymax and rect.xmin <= dest[0] <= rect.xmax
+
+
+@dataclass
+class CanonicalBoundaryMap:
+    """Boundary annotations in one canonical (destination-NE) orientation."""
+
+    mesh: Mesh2D
+    rects: list[Rect]
+    annotations: dict[Coord, list[BoundaryTag]] = field(default_factory=dict)
+    truncated_traces: int = 0  # lines cut short by the mesh edge during a join
+
+    @staticmethod
+    def from_annotations(
+        mesh: Mesh2D,
+        rects: list[Rect],
+        annotations: dict[Coord, list[BoundaryTag]],
+    ) -> "CanonicalBoundaryMap":
+        """Wrap annotations produced elsewhere -- e.g. by the distributed
+        boundary protocol (:mod:`repro.simulator.protocols.
+        boundary_distribution`) -- so a router can run off exactly the
+        information the network formed."""
+        return CanonicalBoundaryMap(
+            mesh=mesh, rects=rects, annotations={c: list(t) for c, t in annotations.items()}
+        )
+
+    @staticmethod
+    def build(mesh: Mesh2D, rects: list[Rect], unusable: np.ndarray) -> "CanonicalBoundaryMap":
+        """Trace L1 and L3 (with joins) for every block."""
+        bmap = CanonicalBoundaryMap(mesh=mesh, rects=rects)
+        block_id = np.full((mesh.n, mesh.m), -1, dtype=np.int32)
+        for index, rect in enumerate(rects):
+            clipped = rect.clip(mesh.bounds)
+            if clipped is not None:
+                block_id[clipped.xmin : clipped.xmax + 1, clipped.ymin : clipped.ymax + 1] = index
+        for index, rect in enumerate(rects):
+            bmap._trace_l1(index, rect, unusable, block_id)
+            bmap._trace_l3(index, rect, unusable, block_id)
+        return bmap
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _annotate_path(
+        self,
+        block_index: int,
+        line: Line,
+        path: list[Coord],
+        first_toward: Direction | None,
+    ) -> None:
+        """Attach tags along a traced polyline.
+
+        ``path[0]`` is normally the exit intersection (``toward=None``); when
+        the block touches the mesh edge and the exit corner lies outside the
+        mesh, ``first_toward`` carries the line's travel direction instead
+        (harmless for routing -- the critical region is then empty -- but it
+        keeps the annotations identical to the distributed protocol's).
+        """
+        for position, node in enumerate(path):
+            toward = (
+                first_toward if position == 0 else Direction.between(node, path[position - 1])
+            )
+            self.annotations.setdefault(node, []).append(
+                BoundaryTag(block_index=block_index, line=line, toward=toward)
+            )
+
+    def _trace_l1(
+        self, index: int, rect: Rect, unusable: np.ndarray, block_id: np.ndarray
+    ) -> None:
+        """L1: start at the L1 ∩ L4 corner, walk West; on hitting a block,
+        descend its East side and join its L1."""
+        row = rect.ymin - 1
+        if row < 0:
+            return
+        x = min(rect.xmax + 1, self.mesh.n - 1)
+        first_toward = None if x == rect.xmax + 1 else Direction.EAST
+        path: list[Coord] = []
+        while x >= 0:
+            if unusable[x, row]:
+                blocker_index = int(block_id[x, row])
+                if blocker_index < 0:  # unusable cell outside any known rect
+                    self.truncated_traces += 1
+                    break
+                blocker = self.rects[blocker_index]
+                new_row = blocker.ymin - 1
+                # Descend along the blocker's East side (its L4 column); when
+                # the blocker touches the South edge the descent runs to the
+                # edge and the line ends there.
+                descent_x = x + 1
+                aborted = False
+                for y in range(row - 1, max(new_row, 0) - 1, -1):
+                    if descent_x >= self.mesh.n or unusable[descent_x, y]:
+                        self.truncated_traces += 1
+                        aborted = True
+                        break
+                    path.append((descent_x, y))
+                if aborted:
+                    break
+                if new_row < 0:
+                    self.truncated_traces += 1
+                    break
+                row = new_row
+                # Continue West on the blocker's L1 from under its East face.
+                continue
+            path.append((x, row))
+            x -= 1
+        self._annotate_path(index, Line.L1, path, first_toward)
+
+    def _trace_l3(
+        self, index: int, rect: Rect, unusable: np.ndarray, block_id: np.ndarray
+    ) -> None:
+        """L3: start at the L3 ∩ L2 corner, walk South; on hitting a block,
+        cross over its North side and join its L3."""
+        column = rect.xmin - 1
+        if column < 0:
+            return
+        y = min(rect.ymax + 1, self.mesh.m - 1)
+        first_toward = None if y == rect.ymax + 1 else Direction.NORTH
+        path: list[Coord] = []
+        while y >= 0:
+            if unusable[column, y]:
+                blocker_index = int(block_id[column, y])
+                if blocker_index < 0:  # unusable cell outside any known rect
+                    self.truncated_traces += 1
+                    break
+                blocker = self.rects[blocker_index]
+                new_column = blocker.xmin - 1
+                # Cross along the blocker's North side (its L2 row); when the
+                # blocker touches the West edge the crossing runs to the edge
+                # and the line ends there.
+                crossing_y = y + 1
+                aborted = False
+                for x in range(column - 1, max(new_column, 0) - 1, -1):
+                    if crossing_y >= self.mesh.m or unusable[x, crossing_y]:
+                        self.truncated_traces += 1
+                        aborted = True
+                        break
+                    path.append((x, crossing_y))
+                if aborted:
+                    break
+                if new_column < 0:
+                    self.truncated_traces += 1
+                    break
+                column = new_column
+                continue
+            path.append((column, y))
+            y -= 1
+        self._annotate_path(index, Line.L3, path, first_toward)
+
+    # ------------------------------------------------------------------
+    # Routing queries
+    # ------------------------------------------------------------------
+    def tags_at(self, node: Coord) -> list[BoundaryTag]:
+        return self.annotations.get(node, [])
+
+    def forbidden_directions(self, node: Coord, dest: Coord) -> set[Direction]:
+        """Preferred-but-detour directions at ``node`` for ``dest``.
+
+        Empty set: the node is non-critical (any preferred direction works).
+        On a straight L1 row section with the destination in that block's
+        R6, North is forbidden; on a straight L3 column section with the
+        destination in that block's R4, East is forbidden.  Turn sections
+        and the exit intersections (``toward is None``) forbid nothing.
+        """
+        forbidden: set[Direction] = set()
+        for tag in self.annotations.get(node, ()):
+            rect = self.rects[tag.block_index]
+            if (
+                tag.line is Line.L1
+                and tag.toward is Direction.EAST  # straight row section
+                and _in_r6(rect, dest)
+            ):
+                forbidden.add(Direction.NORTH)
+            elif (
+                tag.line is Line.L3
+                and tag.toward is Direction.NORTH  # straight column section
+                and _in_r4(rect, dest)
+            ):
+                forbidden.add(Direction.EAST)
+        return forbidden
+
+
+@dataclass
+class BoundaryMap:
+    """Boundary information for a block set, for every destination quadrant.
+
+    Canonical maps are built lazily per orientation: quadrant I needs no
+    reflection, quadrant III reflects both axes, etc.  The underlying fault
+    data is shared; only the traces differ.
+    """
+
+    mesh: Mesh2D
+    rects: list[Rect]
+    unusable: np.ndarray
+    _canonical: dict[tuple[bool, bool], CanonicalBoundaryMap] = field(default_factory=dict)
+
+    @staticmethod
+    def for_blocks(blocks: BlockSet) -> "BoundaryMap":
+        return BoundaryMap(mesh=blocks.mesh, rects=blocks.rects(), unusable=blocks.unusable)
+
+    def reflection(self, flip_x: bool, flip_y: bool) -> GridReflection:
+        return GridReflection(n=self.mesh.n, m=self.mesh.m, flip_x=flip_x, flip_y=flip_y)
+
+    def install(self, flip_x: bool, flip_y: bool, canonical: CanonicalBoundaryMap) -> None:
+        """Provide an externally formed canonical map for one orientation.
+
+        Lets a router run off the annotations a *distributed* protocol run
+        actually produced instead of the locally traced equivalent (the two
+        are asserted equal in the tests, but systems should eat their own
+        dog food).
+        """
+        self._canonical[(flip_x, flip_y)] = canonical
+
+    def canonical(self, flip_x: bool, flip_y: bool) -> CanonicalBoundaryMap:
+        """The canonical map for one orientation, built on first use."""
+        key = (flip_x, flip_y)
+        if key not in self._canonical:
+            reflection = self.reflection(flip_x, flip_y)
+            reflected_rects = [reflection.rect(r) for r in self.rects]
+            reflected_unusable = reflection.grid(self.unusable)
+            self._canonical[key] = CanonicalBoundaryMap.build(
+                self.mesh, reflected_rects, reflected_unusable
+            )
+        return self._canonical[key]

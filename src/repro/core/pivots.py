@@ -1,0 +1,135 @@
+"""Extension 3's pivot-selection schemes (paper Sec. 4).
+
+Pivot nodes broadcast their extended safety level to every node, so a source
+can chain Theorem 1c through them.  The paper describes a recursive
+selection: the centre node of the region first, then the region is
+partitioned into four subregions whose centres follow, and so on -- a
+partition level of ``k`` selects ``sum_{i=1..k} 4^(i-1)`` pivots (1, 5, 21
+for levels 1, 2, 3).  Two variations are also given: random pivots (one per
+subregion, used by the paper's routing strategy 2) and evenly distributed
+pivots with no two sharing a row or column ("latin" pivots).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.geometry import Coord, Rect
+
+__all__ = [
+    "latin_pivots",
+    "pivot_count_for_levels",
+    "random_pivots",
+    "recursive_center_pivots",
+]
+
+
+def pivot_count_for_levels(levels: int) -> int:
+    """``1 + 4 + ... + 4^(levels-1)`` -- the paper's pivot count formula."""
+    if levels < 1:
+        raise ValueError("partition level must be >= 1")
+    return (4**levels - 1) // 3
+
+
+def _quarters(region: Rect) -> list[Rect]:
+    """Partition a region into (up to) four subregions around its centre.
+
+    Degenerate slices (a region only one node wide/tall) yield fewer than
+    four parts; duplicates are dropped by the callers' set semantics.
+    """
+    cx = (region.xmin + region.xmax) // 2
+    cy = (region.ymin + region.ymax) // 2
+    parts = []
+    for xlo, xhi in ((region.xmin, cx), (cx + 1, region.xmax)):
+        if xlo > xhi:
+            continue
+        for ylo, yhi in ((region.ymin, cy), (cy + 1, region.ymax)):
+            if ylo > yhi:
+                continue
+            parts.append(Rect(xlo, xhi, ylo, yhi))
+    return parts
+
+
+def _recursive_cells(region: Rect, levels: int) -> list[list[Rect]]:
+    """The subregions at each partition level: level 1 is the region itself,
+    level i+1 quarters every level-i cell."""
+    tiers: list[list[Rect]] = [[region]]
+    for _ in range(levels - 1):
+        next_tier: list[Rect] = []
+        for cell in tiers[-1]:
+            next_tier.extend(_quarters(cell))
+        tiers.append(next_tier)
+    return tiers
+
+
+def recursive_center_pivots(region: Rect, levels: int) -> list[Coord]:
+    """Centre-based recursive pivots (the paper's primary scheme).
+
+    Returns the centres of every cell at every level, deduplicated while
+    preserving coarse-to-fine order.  For a region large enough to split
+    cleanly this yields exactly ``pivot_count_for_levels(levels)`` pivots.
+    """
+    if levels < 1:
+        raise ValueError("partition level must be >= 1")
+    pivots: list[Coord] = []
+    seen: set[Coord] = set()
+    for tier in _recursive_cells(region, levels):
+        for cell in tier:
+            center = ((cell.xmin + cell.xmax) // 2, (cell.ymin + cell.ymax) // 2)
+            if center not in seen:
+                seen.add(center)
+                pivots.append(center)
+    return pivots
+
+
+def random_pivots(region: Rect, levels: int, rng: np.random.Generator) -> list[Coord]:
+    """One uniformly random pivot per recursive subregion (strategy 2's
+    variation: "each pivot node is selected randomly in a submesh")."""
+    if levels < 1:
+        raise ValueError("partition level must be >= 1")
+    pivots: list[Coord] = []
+    seen: set[Coord] = set()
+    for tier in _recursive_cells(region, levels):
+        for cell in tier:
+            coord = (
+                int(rng.integers(cell.xmin, cell.xmax + 1)),
+                int(rng.integers(cell.ymin, cell.ymax + 1)),
+            )
+            if coord not in seen:
+                seen.add(coord)
+                pivots.append(coord)
+    return pivots
+
+
+def latin_pivots(region: Rect, count: int, rng: np.random.Generator) -> list[Coord]:
+    """Evenly distributed pivots, no two on the same row or column.
+
+    The paper's second Extension-3 variation.  The region is cut into
+    ``count`` column bands and ``count`` row bands; a random permutation
+    pairs them and one pivot is drawn inside each band intersection, giving
+    a latin-square-like spread.
+    """
+    if count < 1:
+        raise ValueError("pivot count must be >= 1")
+    if count > min(region.width, region.height):
+        raise ValueError(
+            f"cannot place {count} row/column-distinct pivots in {region}"
+        )
+    permutation = rng.permutation(count)
+    pivots: list[Coord] = []
+    used_x: set[int] = set()
+    used_y: set[int] = set()
+    for i in range(count):
+        xlo = region.xmin + (i * region.width) // count
+        xhi = region.xmin + ((i + 1) * region.width) // count - 1
+        j = int(permutation[i])
+        ylo = region.ymin + (j * region.height) // count
+        yhi = region.ymin + ((j + 1) * region.height) // count - 1
+        x = int(rng.integers(xlo, xhi + 1))
+        y = int(rng.integers(ylo, yhi + 1))
+        # Bands are disjoint, so uniqueness holds by construction; assert it.
+        assert x not in used_x and y not in used_y
+        used_x.add(x)
+        used_y.add(y)
+        pivots.append((x, y))
+    return pivots

@@ -1,0 +1,122 @@
+"""The paper's routing strategies 1-4 (Sec. 5, Figure 12).
+
+A strategy applies extensions in a fixed order and stops at the first one
+that ensures a path:
+
+- **Strategy 1**: Extension 1, then Extension 2.
+- **Strategy 2**: Extension 1, then Extension 3.
+- **Strategy 3**: Extension 2, then Extension 3.
+- **Strategy 4**: Extensions 1, 2, and 3 in order.
+
+The paper's parameters (used as defaults here): segment size 5 for
+Extension 2; partition level 3 with *randomly placed* pivots for
+Extension 3.  The ``a``-suffixed strategies of the paper are the same
+procedures evaluated under the MCC model -- in this library that is simply a
+matter of passing MCC-derived safety levels and blocked grid, so there is no
+separate code path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.conditions import Decision, DecisionKind
+from repro.core.extensions import (
+    extension1_decision,
+    extension2_decision,
+    extension3_decision,
+)
+from repro.core.pivots import random_pivots, recursive_center_pivots
+from repro.core.safety import SafetyLevels
+from repro.mesh.geometry import Coord, Rect
+from repro.mesh.topology import Mesh2D
+
+__all__ = ["Strategy", "StrategyConfig", "select_pivots", "strategy_decision"]
+
+
+class Strategy(enum.IntEnum):
+    """Which combination of extensions to apply (paper Figure 12)."""
+
+    S1 = 1  # extensions 1 + 2
+    S2 = 2  # extensions 1 + 3
+    S3 = 3  # extensions 2 + 3
+    S4 = 4  # extensions 1 + 2 + 3
+
+    @property
+    def uses_extension1(self) -> bool:
+        return self in (Strategy.S1, Strategy.S2, Strategy.S4)
+
+    @property
+    def uses_extension2(self) -> bool:
+        return self in (Strategy.S1, Strategy.S3, Strategy.S4)
+
+    @property
+    def uses_extension3(self) -> bool:
+        return self in (Strategy.S2, Strategy.S3, Strategy.S4)
+
+
+@dataclass(frozen=True)
+class StrategyConfig:
+    """Tunables for the extensions inside a strategy (paper defaults)."""
+
+    segment_size: int | None = 5
+    pivot_levels: int = 3
+    pivot_scheme: str = "random"  # "random" or "center"
+    allow_sub_minimal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pivot_scheme not in ("random", "center"):
+            raise ValueError(f"unknown pivot scheme {self.pivot_scheme!r}")
+
+
+def select_pivots(
+    config: StrategyConfig,
+    region: Rect,
+    rng: np.random.Generator | None = None,
+) -> list[Coord]:
+    """Pivots for Extension 3 under this configuration.
+
+    ``region`` is the submesh the pivots are drawn from (the paper uses the
+    destination-quadrant submesh).  The random scheme requires ``rng``.
+    """
+    if config.pivot_scheme == "center":
+        return recursive_center_pivots(region, config.pivot_levels)
+    if rng is None:
+        raise ValueError("the random pivot scheme needs an rng")
+    return random_pivots(region, config.pivot_levels, rng)
+
+
+def strategy_decision(
+    strategy: Strategy,
+    mesh: Mesh2D,
+    levels: SafetyLevels,
+    blocked: np.ndarray,
+    source: Coord,
+    dest: Coord,
+    pivots: list[Coord],
+    config: StrategyConfig = StrategyConfig(),
+) -> Decision:
+    """Apply a strategy's extensions in order; first ensured path wins.
+
+    ``pivots`` must be pre-selected (they are broadcast once per fault
+    pattern, not per destination); pass an empty list for strategies that
+    do not use Extension 3.
+    """
+    if strategy.uses_extension1:
+        decision = extension1_decision(
+            mesh, levels, blocked, source, dest, allow_sub_minimal=config.allow_sub_minimal
+        )
+        if decision.kind is not DecisionKind.UNSAFE:
+            return decision
+    if strategy.uses_extension2:
+        decision = extension2_decision(mesh, levels, source, dest, config.segment_size)
+        if decision.kind is not DecisionKind.UNSAFE:
+            return decision
+    if strategy.uses_extension3:
+        decision = extension3_decision(mesh, levels, blocked, source, dest, pivots)
+        if decision.kind is not DecisionKind.UNSAFE:
+            return decision
+    return Decision(DecisionKind.UNSAFE, source, dest)

@@ -1,0 +1,255 @@
+"""One entry point per paper figure.
+
+Figures 7 and 8 are direct measurements over fault patterns; Figures 9-12
+are condition experiments built on :class:`~repro.experiments.runner.
+ConditionExperiment`.  Every function returns a
+:class:`~repro.experiments.report.FigureSeries` whose columns mirror the
+curves of the paper's plot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.affected_rows import (
+    count_affected_columns,
+    count_affected_rows,
+    expected_affected_rows,
+)
+from repro.analysis.statistics import Estimate, mean_and_ci
+from repro.core.conditions import is_safe
+from repro.core.extensions import (
+    extension1_decision,
+    extension2_decision_from_segments,
+    extension3_decision,
+)
+from repro.core.strategies import Strategy, StrategyConfig, strategy_decision
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import FigureSeries
+from repro.experiments.runner import (
+    BLOCK_MODEL,
+    MCC_MODEL,
+    ConditionExperiment,
+    MetricSpec,
+    TrialContext,
+)
+from repro.faults.coverage import minimal_path_exists
+from repro.faults.injection import generate_scenario
+from repro.faults.mcc import MCCType
+from repro.mesh.geometry import Coord
+
+Progress = Callable[[str], None] | None
+
+
+# ----------------------------------------------------------------------
+# Metric predicates shared by Figures 9-12
+# ----------------------------------------------------------------------
+
+
+def _safe_source(ctx: TrialContext, dest: Coord) -> bool:
+    return is_safe(ctx.levels, ctx.source, dest)
+
+
+def _existence(ctx: TrialContext, dest: Coord) -> bool:
+    return minimal_path_exists(ctx.blocked, ctx.source, dest)
+
+
+def _extension1_min(ctx: TrialContext, dest: Coord) -> bool:
+    decision = extension1_decision(
+        ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dest, allow_sub_minimal=False
+    )
+    return decision.ensures_minimal
+
+
+def _extension1_submin(ctx: TrialContext, dest: Coord) -> bool:
+    decision = extension1_decision(
+        ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dest, allow_sub_minimal=True
+    )
+    return decision.ensures_sub_minimal
+
+
+def _extension2(size: int | None) -> Callable[[TrialContext, Coord], bool]:
+    def metric(ctx: TrialContext, dest: Coord) -> bool:
+        east, north = ctx.segments(size)
+        decision = extension2_decision_from_segments(ctx.levels, ctx.source, dest, east, north)
+        return decision.ensures_minimal
+
+    return metric
+
+
+def _extension3(level: int) -> Callable[[TrialContext, Coord], bool]:
+    def metric(ctx: TrialContext, dest: Coord) -> bool:
+        decision = extension3_decision(
+            ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dest, ctx.pivots_by_level[level]
+        )
+        return decision.ensures_minimal
+
+    return metric
+
+
+def _strategy(strategy: Strategy, config: ExperimentConfig) -> Callable[[TrialContext, Coord], bool]:
+    strategy_config = StrategyConfig(
+        segment_size=config.strategy_segment_size,
+        pivot_levels=config.strategy_pivot_levels,
+        pivot_scheme="random",
+    )
+
+    def metric(ctx: TrialContext, dest: Coord) -> bool:
+        decision = strategy_decision(
+            strategy,
+            ctx.mesh,
+            ctx.levels,
+            ctx.blocked,
+            ctx.source,
+            dest,
+            ctx.strategy_pivots,
+            strategy_config,
+        )
+        return decision.ensures_minimal
+
+    return metric
+
+
+def _both_models(name: str, fn: Callable[[TrialContext, Coord], bool], model: str) -> MetricSpec:
+    suffix = "" if model == BLOCK_MODEL else "a"
+    return MetricSpec(name=f"{name}{suffix}", fn=fn, model=model)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: affected rows/columns, analytical vs experimental
+# ----------------------------------------------------------------------
+
+
+def fig7_affected_rows(
+    config: ExperimentConfig | None = None, progress: Progress = None
+) -> FigureSeries:
+    """Percentage of affected rows (and columns): Theorem 2 vs simulation."""
+    config = config or ExperimentConfig.from_environment()
+    rng = np.random.default_rng(config.seed)
+    n = config.mesh_side
+    series = FigureSeries(
+        figure_id="fig7",
+        title="expected percentage of affected rows (and columns)",
+        x_label="faults",
+    )
+    series.notes.append(config.describe())
+    for fault_count in config.fault_counts:
+        fractions: list[float] = []
+        for _ in range(config.patterns_per_count):
+            scenario = generate_scenario(config.mesh, fault_count, rng, source=config.source)
+            affected = count_affected_rows(scenario.blocks.unusable)
+            affected += count_affected_columns(scenario.blocks.unusable)
+            fractions.append(affected / (2 * n))
+        series.xs.append(float(fault_count))
+        series.add_point("analytical", Estimate(expected_affected_rows(n, fault_count) / n, 0.0, 1))
+        series.add_point("experimental", mean_and_ci(fractions))
+        if progress is not None:
+            progress(f"fig7: k={fault_count} done")
+    series.validate()
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 8: average number of disabled nodes per block
+# ----------------------------------------------------------------------
+
+
+def fig8_disabled_nodes(
+    config: ExperimentConfig | None = None, progress: Progress = None
+) -> FigureSeries:
+    """Average disabled (healthy but sacrificed) nodes per faulty block,
+    under Wu's faulty block model and the MCC model (type one)."""
+    config = config or ExperimentConfig.from_environment()
+    rng = np.random.default_rng(config.seed)
+    series = FigureSeries(
+        figure_id="fig8",
+        title="average number of disabled nodes in a faulty block",
+        x_label="faults",
+    )
+    series.notes.append(config.describe())
+    for fault_count in config.fault_counts:
+        block_means: list[float] = []
+        mcc_means: list[float] = []
+        for _ in range(config.patterns_per_count):
+            scenario = generate_scenario(config.mesh, fault_count, rng, source=config.source)
+            block_means.append(scenario.blocks.average_disabled_per_block())
+            mcc_means.append(scenario.mccs(MCCType.TYPE_ONE).average_disabled_per_component())
+        series.xs.append(float(fault_count))
+        series.add_point("wu_model", mean_and_ci(block_means))
+        series.add_point("mcc", mean_and_ci(mcc_means))
+        if progress is not None:
+            progress(f"fig8: k={fault_count} done")
+    series.validate()
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figures 9-12: condition experiments
+# ----------------------------------------------------------------------
+
+
+def fig9_extension1(
+    config: ExperimentConfig | None = None, progress: Progress = None
+) -> FigureSeries:
+    """Safe source, extension 1 (min), extension 1 (sub-min), and the
+    optimal existence baseline, under both fault models (Figure 9 a+b)."""
+    config = config or ExperimentConfig.from_environment()
+    metrics: list[MetricSpec] = []
+    for model in (BLOCK_MODEL, MCC_MODEL):
+        metrics += [
+            _both_models("safe_source", _safe_source, model),
+            _both_models("ext1_min", _extension1_min, model),
+            _both_models("ext1_submin", _extension1_submin, model),
+            _both_models("existence", _existence, model),
+        ]
+    experiment = ConditionExperiment(config, metrics)
+    return experiment.run("fig9", "minimal/sub-minimal ensured: extension 1", progress)
+
+
+def fig10_extension2(
+    config: ExperimentConfig | None = None, progress: Progress = None
+) -> FigureSeries:
+    """Extension 2 for every segment-size variation (Figure 10 a+b)."""
+    config = config or ExperimentConfig.from_environment()
+    metrics: list[MetricSpec] = []
+    for model in (BLOCK_MODEL, MCC_MODEL):
+        metrics.append(_both_models("safe_source", _safe_source, model))
+        for size in config.segment_sizes:
+            label = "max" if size is None else str(size)
+            metrics.append(_both_models(f"ext2_{label}", _extension2(size), model))
+        metrics.append(_both_models("existence", _existence, model))
+    experiment = ConditionExperiment(config, metrics)
+    return experiment.run("fig10", "minimal ensured: extension 2 segment sizes", progress)
+
+
+def fig11_extension3(
+    config: ExperimentConfig | None = None, progress: Progress = None
+) -> FigureSeries:
+    """Extension 3 for partition levels 1-3 (Figure 11 a+b)."""
+    config = config or ExperimentConfig.from_environment()
+    metrics: list[MetricSpec] = []
+    for model in (BLOCK_MODEL, MCC_MODEL):
+        metrics.append(_both_models("safe_source", _safe_source, model))
+        for level in config.pivot_levels:
+            metrics.append(_both_models(f"ext3_level{level}", _extension3(level), model))
+        metrics.append(_both_models("existence", _existence, model))
+    experiment = ConditionExperiment(config, metrics)
+    return experiment.run("fig11", "minimal ensured: extension 3 partition levels", progress)
+
+
+def fig12_strategies(
+    config: ExperimentConfig | None = None, progress: Progress = None
+) -> FigureSeries:
+    """Strategies 1-4 / 1a-4a (Figure 12 a+b)."""
+    config = config or ExperimentConfig.from_environment()
+    metrics: list[MetricSpec] = []
+    for model in (BLOCK_MODEL, MCC_MODEL):
+        for strategy in Strategy:
+            metrics.append(
+                _both_models(f"strategy{strategy.value}", _strategy(strategy, config), model)
+            )
+        metrics.append(_both_models("existence", _existence, model))
+    experiment = ConditionExperiment(config, metrics)
+    return experiment.run("fig12", "minimal ensured: strategies 1-4", progress)

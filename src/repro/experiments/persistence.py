@@ -1,0 +1,120 @@
+"""JSON persistence for scenarios and figure series.
+
+Reproducibility plumbing: a fault scenario or a finished figure can be
+saved, shared, and reloaded bit-identically.  Scenarios serialize as their
+*inputs* (mesh shape, fault list) and are rebuilt on load, so the files stay
+small and the derived structures always match the loaded library version;
+figure series serialize their full data including confidence intervals.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.analysis.statistics import Estimate
+from repro.experiments.report import FigureSeries
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import FaultScenario
+from repro.mesh.topology import Mesh2D
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+
+def scenario_to_dict(scenario: FaultScenario) -> dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "fault-scenario",
+        "mesh": [scenario.mesh.n, scenario.mesh.m],
+        "faults": [list(coord) for coord in scenario.faults],
+    }
+
+
+def scenario_from_dict(data: dict[str, Any]) -> FaultScenario:
+    _check_header(data, "fault-scenario")
+    n, m = data["mesh"]
+    mesh = Mesh2D(int(n), int(m))
+    faults = [tuple(int(c) for c in coord) for coord in data["faults"]]
+    return FaultScenario(mesh=mesh, faults=faults, blocks=build_faulty_blocks(mesh, faults))
+
+
+def save_scenario(scenario: FaultScenario, path: str | pathlib.Path) -> None:
+    pathlib.Path(path).write_text(json.dumps(scenario_to_dict(scenario), indent=1))
+
+
+def load_scenario(path: str | pathlib.Path) -> FaultScenario:
+    return scenario_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Figure series
+# ----------------------------------------------------------------------
+
+
+def series_to_dict(series: FigureSeries) -> dict[str, Any]:
+    series.validate()
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "figure-series",
+        "figure_id": series.figure_id,
+        "title": series.title,
+        "x_label": series.x_label,
+        "xs": list(series.xs),
+        "notes": list(series.notes),
+        "series": {
+            name: [
+                {"value": e.value, "half_width": e.half_width, "samples": e.samples}
+                for e in points
+            ]
+            for name, points in series.series.items()
+        },
+    }
+
+
+def series_from_dict(data: dict[str, Any]) -> FigureSeries:
+    _check_header(data, "figure-series")
+    series = FigureSeries(
+        figure_id=data["figure_id"],
+        title=data["title"],
+        x_label=data["x_label"],
+        xs=[float(x) for x in data["xs"]],
+        notes=list(data.get("notes", [])),
+    )
+    for name, points in data["series"].items():
+        series.series[name] = [
+            Estimate(
+                value=float(p["value"]),
+                half_width=float(p["half_width"]),
+                samples=int(p["samples"]),
+            )
+            for p in points
+        ]
+    series.validate()
+    return series
+
+
+def save_series(series: FigureSeries, path: str | pathlib.Path) -> None:
+    pathlib.Path(path).write_text(json.dumps(series_to_dict(series), indent=1))
+
+
+def load_series(path: str | pathlib.Path) -> FigureSeries:
+    return series_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+
+
+def _check_header(data: dict[str, Any], expected_kind: str) -> None:
+    if data.get("kind") != expected_kind:
+        raise ValueError(f"expected a {expected_kind} file, got {data.get('kind')!r}")
+    if int(data.get("format", -1)) > FORMAT_VERSION:
+        raise ValueError(
+            f"file format {data.get('format')} is newer than this library "
+            f"(supports up to {FORMAT_VERSION})"
+        )

@@ -1,0 +1,165 @@
+"""Scenario/trial driver for the condition experiments (Figures 9-12).
+
+One *pattern* is a random fault placement; for each pattern the runner
+builds both fault models, their safety levels, the pivot sets and the
+source's axis segments once, then evaluates every registered metric on
+every random destination.  Metrics under the block and MCC models see the
+*same* fault patterns and destinations, so the paper's (a)/(b) figure pairs
+are paired comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.statistics import proportion_ci
+from repro.core.pivots import random_pivots, recursive_center_pivots
+from repro.core.safety import SafetyLevels, compute_safety_levels
+from repro.core.segments import RegionSegments, build_axis_segments
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import FigureSeries
+from repro.faults.injection import FaultScenario, generate_scenario
+from repro.faults.mcc import MCCType
+from repro.mesh.frames import Frame
+from repro.mesh.geometry import Coord, Direction, Rect
+from repro.mesh.topology import Mesh2D
+
+#: The fault models a metric can run under.
+BLOCK_MODEL = "block"
+MCC_MODEL = "mcc"
+
+
+@dataclass
+class TrialContext:
+    """Everything a metric may consult for one (pattern, model) pair.
+
+    Axis segments are cached per segment size: the simulation's source is
+    fixed and every destination lies in quadrant I, so the canonical frame
+    -- and therefore the segment construction -- is destination-independent.
+    """
+
+    mesh: Mesh2D
+    source: Coord
+    levels: SafetyLevels
+    blocked: np.ndarray
+    rects: list[Rect]
+    pivots_by_level: dict[int, list[Coord]]
+    strategy_pivots: list[Coord]
+    strategy_rng: np.random.Generator
+    _segment_cache: dict[tuple[int | None, str], tuple[RegionSegments, RegionSegments]] = field(
+        default_factory=dict
+    )
+
+    def segments(
+        self, size: int | None, tie_break: str = "far"
+    ) -> tuple[RegionSegments, RegionSegments]:
+        """(East-axis, North-axis) samples for the fixed source."""
+        key = (size, tie_break)
+        if key not in self._segment_cache:
+            frame = Frame(origin=self.source)
+            east = build_axis_segments(
+                self.mesh, self.levels, frame, Direction.EAST, size, tie_break
+            )
+            north = build_axis_segments(
+                self.mesh, self.levels, frame, Direction.NORTH, size, tie_break
+            )
+            self._segment_cache[key] = (east, north)
+        return self._segment_cache[key]
+
+
+MetricFn = Callable[[TrialContext, Coord], bool]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One curve of a figure: a predicate evaluated per destination."""
+
+    name: str
+    fn: MetricFn
+    model: str = BLOCK_MODEL
+
+    def __post_init__(self) -> None:
+        if self.model not in (BLOCK_MODEL, MCC_MODEL):
+            raise ValueError(f"unknown model {self.model!r}")
+
+
+class ConditionExperiment:
+    """Sweep fault counts, measuring each metric's success proportion."""
+
+    def __init__(self, config: ExperimentConfig, metrics: list[MetricSpec]):
+        if not metrics:
+            raise ValueError("need at least one metric")
+        names = [m.name for m in metrics]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate metric names in {names}")
+        self.config = config
+        self.metrics = metrics
+        self._needs_mcc = any(m.model == MCC_MODEL for m in metrics)
+
+    # ------------------------------------------------------------------
+    def _build_context(self, scenario: FaultScenario, model: str, rng: np.random.Generator) -> TrialContext:
+        config = self.config
+        if model == BLOCK_MODEL:
+            blocked = scenario.blocks.unusable
+            rects = scenario.block_rects()
+        else:
+            mccs = scenario.mccs(MCCType.TYPE_ONE)
+            blocked = mccs.blocked
+            rects = [component.rect for component in mccs]
+        levels = compute_safety_levels(scenario.mesh, blocked)
+        pivots_by_level = {
+            level: recursive_center_pivots(config.pivot_region, level)
+            for level in config.pivot_levels
+        }
+        strategy_pivots = random_pivots(
+            config.pivot_region, config.strategy_pivot_levels, rng
+        )
+        return TrialContext(
+            mesh=scenario.mesh,
+            source=config.source,
+            levels=levels,
+            blocked=blocked,
+            rects=rects,
+            pivots_by_level=pivots_by_level,
+            strategy_pivots=strategy_pivots,
+            strategy_rng=rng,
+        )
+
+    def run(self, figure_id: str, title: str, progress: Callable[[str], None] | None = None) -> FigureSeries:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        series = FigureSeries(figure_id=figure_id, title=title, x_label="faults")
+        series.notes.append(config.describe())
+
+        for fault_count in config.fault_counts:
+            successes = {metric.name: 0 for metric in self.metrics}
+            trials = 0
+            for _ in range(config.patterns_per_count):
+                scenario = generate_scenario(
+                    config.mesh,
+                    fault_count,
+                    rng,
+                    source=config.source,
+                    workload=config.workload,
+                )
+                contexts = {BLOCK_MODEL: self._build_context(scenario, BLOCK_MODEL, rng)}
+                if self._needs_mcc:
+                    contexts[MCC_MODEL] = self._build_context(scenario, MCC_MODEL, rng)
+                for _ in range(config.destinations_per_pattern):
+                    dest = scenario.pick_destination(
+                        rng, config.destination_region, exclude={config.source}
+                    )
+                    trials += 1
+                    for metric in self.metrics:
+                        if metric.fn(contexts[metric.model], dest):
+                            successes[metric.name] += 1
+            series.xs.append(float(fault_count))
+            for metric in self.metrics:
+                series.add_point(metric.name, proportion_ci(successes[metric.name], trials))
+            if progress is not None:
+                progress(f"{figure_id}: k={fault_count} done ({trials} trials)")
+        series.validate()
+        return series

@@ -1,0 +1,81 @@
+"""Supplementary sweeps beyond the paper's figures.
+
+Currently one sweep: **mesh-size invariance**.  The reduced-scale presets in
+:mod:`repro.experiments.config` assume that, at a fixed fault *density*, the
+percentage curves of Figures 9-12 are insensitive to the mesh side.  This
+sweep measures that directly: the same density and trial budget across a
+range of sides, reporting the safe-source / Extension-1 / existence
+percentages per side.  The bench asserts the spread stays small, which is
+the empirical licence for comparing quick-preset shapes with the paper's
+200x200 results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import proportion_ci
+from repro.core.conditions import is_safe
+from repro.core.extensions import extension1_decision
+from repro.core.safety import compute_safety_levels
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import FigureSeries
+from repro.faults.coverage import minimal_path_exists
+from repro.faults.injection import generate_scenario
+
+
+def mesh_size_sweep(
+    sides: Sequence[int] = (50, 100, 150, 200),
+    density: float = 200 / (200 * 200),
+    patterns_per_side: int = 10,
+    destinations_per_pattern: int = 30,
+    seed: int = 404,
+) -> FigureSeries:
+    """Safe-source / Extension-1 / existence percentages versus mesh side,
+    at a fixed fault density (default: the paper's k=200 density)."""
+    series = FigureSeries(
+        figure_id="sweep_size",
+        title=f"size invariance at density {density:.2%}",
+        x_label="mesh side",
+    )
+    rng = np.random.default_rng(seed)
+    for side in sides:
+        config = ExperimentConfig.scaled(
+            side, patterns_per_side, destinations_per_pattern, seed=seed
+        )
+        fault_count = max(1, round(density * side * side))
+        successes = {"safe_source": 0, "ext1_min": 0, "existence": 0}
+        trials = 0
+        for _ in range(patterns_per_side):
+            scenario = generate_scenario(config.mesh, fault_count, rng, source=config.source)
+            levels = compute_safety_levels(config.mesh, scenario.blocks.unusable)
+            for _ in range(destinations_per_pattern):
+                dest = scenario.pick_destination(
+                    rng, config.destination_region, exclude={config.source}
+                )
+                trials += 1
+                if is_safe(levels, config.source, dest):
+                    successes["safe_source"] += 1
+                decision = extension1_decision(
+                    config.mesh,
+                    levels,
+                    scenario.blocks.unusable,
+                    config.source,
+                    dest,
+                    allow_sub_minimal=False,
+                )
+                if decision.ensures_minimal:
+                    successes["ext1_min"] += 1
+                if minimal_path_exists(scenario.blocks.unusable, config.source, dest):
+                    successes["existence"] += 1
+        series.xs.append(float(side))
+        for name, count in successes.items():
+            series.add_point(name, proportion_ci(count, trials))
+    series.notes.append(
+        f"density {density:.3%}, {patterns_per_side} patterns x "
+        f"{destinations_per_pattern} destinations per side, seed {seed}"
+    )
+    series.validate()
+    return series

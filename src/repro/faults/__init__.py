@@ -1,0 +1,54 @@
+"""Fault models for 2-D meshes.
+
+Three cooperating modules:
+
+- :mod:`repro.faults.injection` -- random fault workload generators (the
+  paper's "randomly generated faults" with the source/destination-outside-
+  blocks constraint).
+- :mod:`repro.faults.blocks` -- the **faulty block** model (paper Def. 1):
+  iterative disabling of nodes with faulty/disabled neighbours in both
+  dimensions, converging to disjoint rectangular blocks.
+- :mod:`repro.faults.mcc` -- Wang's **minimal-connected-component** model
+  (paper Def. 2): quadrant-aware *useless* / *can't-reach* labelling giving
+  rectilinear-monotone polygonal blocks that disable fewer healthy nodes.
+- :mod:`repro.faults.coverage` -- the optimal baseline: Wang's necessary and
+  sufficient condition for the existence of a minimal path (coverage
+  sequences), plus an exact monotone-path dynamic program used as ground
+  truth throughout the test-suite.
+"""
+
+from repro.faults.blocks import BlockSet, FaultyBlock, build_faulty_blocks
+from repro.faults.mcc import MCCComponent, MCCSet, MCCType, NodeStatus, build_mccs
+from repro.faults.coverage import (
+    minimal_path_exists,
+    minimal_path_exists_wang,
+    covering_sequence_on_x,
+    covering_sequence_on_y,
+)
+from repro.faults.injection import (
+    FaultScenario,
+    clustered_faults,
+    generate_scenario,
+    uniform_faults,
+    wall_faults,
+)
+
+__all__ = [
+    "BlockSet",
+    "FaultScenario",
+    "FaultyBlock",
+    "MCCComponent",
+    "MCCSet",
+    "MCCType",
+    "NodeStatus",
+    "build_faulty_blocks",
+    "build_mccs",
+    "clustered_faults",
+    "covering_sequence_on_x",
+    "covering_sequence_on_y",
+    "generate_scenario",
+    "minimal_path_exists",
+    "minimal_path_exists_wang",
+    "uniform_faults",
+    "wall_faults",
+]

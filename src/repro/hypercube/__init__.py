@@ -1,0 +1,36 @@
+"""Binary hypercubes: where safety levels came from.
+
+The paper's information model descends from Wu's safety levels in binary
+hypercubes (its refs [16], [18]), summarized in the introduction: *"if a
+node's safety level is L, there is at least one Hamming distance (or
+minimal) path from this node to any node within Hamming-distance-L"*.  This
+package implements that foundation so the lineage is runnable:
+
+- :mod:`repro.hypercube.topology` -- the n-cube (nodes are bit masks).
+- :mod:`repro.hypercube.safety` -- Wu's safety levels: the fixpoint of
+
+  ``S(u) = 0`` for faulty ``u``; otherwise, with the neighbours' levels in
+  ascending order ``(s_1, ..., s_n)``, ``S(u)`` is the largest ``k <= n``
+  with ``s_j >= j - 1`` for all ``j <= k`` (and ``n`` when all of
+  ``(0, 1, ..., n-1)`` is dominated -- the node is *safe*).
+
+- :mod:`repro.hypercube.routing` -- the exact minimal-path oracle (DP over
+  subcubes) and the safety-level-guided minimal router, whose guarantee --
+  ``S(u) >= H(u, d)`` implies delivery along a Hamming-minimal path -- is
+  the hypercube analogue of the paper's Theorem 1, property-tested against
+  the oracle.
+"""
+
+from repro.hypercube.topology import Hypercube
+from repro.hypercube.safety import compute_hypercube_safety
+from repro.hypercube.routing import (
+    hypercube_minimal_path_exists,
+    safety_guided_route,
+)
+
+__all__ = [
+    "Hypercube",
+    "compute_hypercube_safety",
+    "hypercube_minimal_path_exists",
+    "safety_guided_route",
+]

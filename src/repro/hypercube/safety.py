@@ -1,0 +1,48 @@
+"""Wu's safety levels in faulty hypercubes (ToC 1997, the paper's ref [18]).
+
+Definition (fixpoint): a faulty node has level 0.  For a non-faulty node
+``u`` with neighbours' levels in ascending order ``(s_1, ..., s_n)``,
+
+    ``S(u) = max { k <= n : s_j >= j - 1 for every j <= k }``
+
+(so ``S(u) = n`` -- *safe* -- when the whole sequence dominates
+``(0, 1, ..., n-1)``).  Levels start at ``n`` for non-faulty nodes and only
+ever decrease, so chaotic iteration converges; we sweep to a fixpoint.
+
+The guarantee carried into the 2-D mesh work: ``S(u) >= H(u, d)`` implies a
+Hamming-minimal path from ``u`` to any non-faulty ``d`` within distance
+``S(u)`` -- property-tested against the exact oracle in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hypercube.topology import Hypercube
+
+
+def compute_hypercube_safety(cube: Hypercube, faulty: Iterable[int]) -> list[int]:
+    """Safety level of every node, indexed by node mask."""
+    fault_set = set(faulty)
+    for node in fault_set:
+        cube.require_in_bounds(node)
+    n = cube.dimensions
+    levels = [0 if node in fault_set else n for node in range(cube.size)]
+
+    changed = True
+    while changed:
+        changed = False
+        for node in range(cube.size):
+            if node in fault_set:
+                continue
+            neighbor_levels = sorted(levels[neighbor] for neighbor in cube.neighbors(node))
+            level = 0
+            for j, s in enumerate(neighbor_levels, start=1):
+                if s >= j - 1:
+                    level = j
+                else:
+                    break
+            if level < levels[node]:
+                levels[node] = level
+                changed = True
+    return levels

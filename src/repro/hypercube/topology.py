@@ -1,0 +1,60 @@
+"""The binary n-cube.
+
+Nodes are integers in ``[0, 2^n)`` read as bit masks; two nodes are
+adjacent iff their masks differ in exactly one bit.  The Hamming distance
+``H(u, v) = popcount(u ^ v)`` is the minimal hop count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Hypercube:
+    """An ``n``-dimensional binary hypercube."""
+
+    dimensions: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.dimensions <= 24:
+            raise ValueError(f"dimension {self.dimensions} out of supported range [1, 24]")
+
+    @property
+    def size(self) -> int:
+        return 1 << self.dimensions
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+    def in_bounds(self, node: int) -> bool:
+        return 0 <= node < self.size
+
+    def require_in_bounds(self, node: int) -> None:
+        if not self.in_bounds(node):
+            raise ValueError(f"node {node} outside the {self.dimensions}-cube")
+
+    def neighbors(self, node: int) -> list[int]:
+        self.require_in_bounds(node)
+        return [node ^ (1 << bit) for bit in range(self.dimensions)]
+
+    def distance(self, a: int, b: int) -> int:
+        """Hamming distance."""
+        self.require_in_bounds(a)
+        self.require_in_bounds(b)
+        return (a ^ b).bit_count()
+
+    def preferred_neighbors(self, current: int, dest: int) -> list[int]:
+        """Neighbours one Hamming step closer: flip any differing bit."""
+        difference = current ^ dest
+        out = []
+        bit = 0
+        while difference >> bit:
+            if (difference >> bit) & 1:
+                out.append(current ^ (1 << bit))
+            bit += 1
+        return out
+
+    def __str__(self) -> str:
+        return f"Hypercube(Q{self.dimensions})"

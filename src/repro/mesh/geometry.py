@@ -1,0 +1,256 @@
+"""Geometric primitives for 2-D meshes.
+
+Orientation convention (matches the paper's figures): the x axis grows to the
+**East** and the y axis grows to the **North**.  A node address is a pair
+``(x, y)`` of non-negative integers.  Rectangles are *inclusive* on both ends,
+mirroring the paper's ``[xmin : xmax, ymin : ymax]`` block notation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+Coord = tuple[int, int]
+
+
+class Direction(enum.Enum):
+    """The four mesh directions, ordered as in the paper's ESL tuple (E,S,W,N)."""
+
+    EAST = (1, 0)
+    SOUTH = (0, -1)
+    WEST = (-1, 0)
+    NORTH = (0, 1)
+
+    @property
+    def dx(self) -> int:
+        return self.value[0]
+
+    @property
+    def dy(self) -> int:
+        return self.value[1]
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITES[self]
+
+    def step(self, coord: Coord, hops: int = 1) -> Coord:
+        """Return the coordinate ``hops`` steps away in this direction."""
+        x, y = coord
+        return (x + self.dx * hops, y + self.dy * hops)
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.dx != 0
+
+    @property
+    def is_vertical(self) -> bool:
+        return self.dy != 0
+
+    @staticmethod
+    def between(src: Coord, dst: Coord) -> "Direction":
+        """Direction of the single hop from ``src`` to an adjacent ``dst``.
+
+        Raises :class:`ValueError` if the nodes are not mesh neighbours.
+        """
+        dx = dst[0] - src[0]
+        dy = dst[1] - src[1]
+        try:
+            return _BY_DELTA[(dx, dy)]
+        except KeyError:
+            raise ValueError(f"{src} and {dst} are not adjacent") from None
+
+
+_OPPOSITES = {
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+}
+
+_BY_DELTA = {d.value: d for d in Direction}
+
+#: ESL tuple ordering used throughout the paper: (E, S, W, N).
+ESL_ORDER: tuple[Direction, ...] = (
+    Direction.EAST,
+    Direction.SOUTH,
+    Direction.WEST,
+    Direction.NORTH,
+)
+
+
+class Quadrant(enum.IntEnum):
+    """Quadrants of the destination relative to the source (paper Sec. 2).
+
+    Quadrant I is North-East, II North-West, III South-West, IV South-East.
+    Destinations on the axes are conventionally folded into the adjacent
+    quadrant with the non-negative offset (so routing straight East is a
+    degenerate quadrant-I routing).
+    """
+
+    I = 1
+    II = 2
+    III = 3
+    IV = 4
+
+    @property
+    def uses_type_one_mcc(self) -> bool:
+        """Type-one MCCs serve quadrant I/III routing; type-two serve II/IV."""
+        return self in (Quadrant.I, Quadrant.III)
+
+
+def quadrant_of(source: Coord, dest: Coord) -> Quadrant:
+    """Quadrant of ``dest`` relative to ``source``.
+
+    Ties (zero offsets) are folded toward quadrant I, matching the paper's
+    ``xd, yd >= 0`` convention for quadrant-I routing.
+    """
+    dx = dest[0] - source[0]
+    dy = dest[1] - source[1]
+    if dx >= 0 and dy >= 0:
+        return Quadrant.I
+    if dx < 0 and dy >= 0:
+        return Quadrant.II
+    if dx < 0 and dy < 0:
+        return Quadrant.III
+    return Quadrant.IV
+
+
+def manhattan_distance(a: Coord, b: Coord) -> int:
+    """``D(a, b) = |xa - xb| + |ya - yb|`` -- the minimal hop count in a mesh."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def chebyshev_distance(a: Coord, b: Coord) -> int:
+    """Max per-axis offset; used for cluster-radius fault workloads."""
+    return max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """An inclusive axis-aligned rectangle ``[xmin : xmax, ymin : ymax]``.
+
+    This is the paper's representation of a faulty block.  All bounds are
+    inclusive, so a single node ``(x, y)`` is the rectangle
+    ``Rect(x, x, y, y)``.
+    """
+
+    xmin: int
+    xmax: int
+    ymin: int
+    ymax: int
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"degenerate rectangle {self!r}")
+
+    @staticmethod
+    def bounding(coords: Sequence[Coord]) -> "Rect":
+        """Smallest rectangle containing every coordinate in ``coords``."""
+        if not coords:
+            raise ValueError("cannot bound an empty coordinate set")
+        xs = [c[0] for c in coords]
+        ys = [c[1] for c in coords]
+        return Rect(min(xs), max(xs), min(ys), max(ys))
+
+    @property
+    def width(self) -> int:
+        return self.xmax - self.xmin + 1
+
+    @property
+    def height(self) -> int:
+        return self.ymax - self.ymin + 1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def sw_corner(self) -> Coord:
+        """South-West node of the rectangle itself (not the boundary corner)."""
+        return (self.xmin, self.ymin)
+
+    @property
+    def ne_corner(self) -> Coord:
+        return (self.xmax, self.ymax)
+
+    def contains(self, coord: Coord) -> bool:
+        x, y = coord
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.xmin <= other.xmin
+            and other.xmax <= self.xmax
+            and self.ymin <= other.ymin
+            and other.ymax <= self.ymax
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.xmax < self.xmin
+            or self.xmax < other.xmin
+            or other.ymax < self.ymin
+            or self.ymax < other.ymin
+        )
+
+    def touches_or_intersects(self, other: "Rect") -> bool:
+        """True if the rectangles intersect or are edge/corner adjacent."""
+        return not (
+            other.xmax + 1 < self.xmin
+            or self.xmax + 1 < other.xmin
+            or other.ymax + 1 < self.ymin
+            or self.ymax + 1 < other.ymin
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xmin, other.xmin),
+            max(self.xmax, other.xmax),
+            min(self.ymin, other.ymin),
+            max(self.ymax, other.ymax),
+        )
+
+    def expand(self, margin: int) -> "Rect":
+        """Grow the rectangle by ``margin`` on every side (may go negative)."""
+        return Rect(
+            self.xmin - margin,
+            self.xmax + margin,
+            self.ymin - margin,
+            self.ymax + margin,
+        )
+
+    def clip(self, other: "Rect") -> "Rect | None":
+        """Intersection rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.xmin, other.xmin),
+            min(self.xmax, other.xmax),
+            max(self.ymin, other.ymin),
+            min(self.ymax, other.ymax),
+        )
+
+    def coords(self) -> Iterator[Coord]:
+        """Iterate every node inside the rectangle (column-major)."""
+        for x in range(self.xmin, self.xmax + 1):
+            for y in range(self.ymin, self.ymax + 1):
+                yield (x, y)
+
+    def column_range(self) -> range:
+        return range(self.xmin, self.xmax + 1)
+
+    def row_range(self) -> range:
+        return range(self.ymin, self.ymax + 1)
+
+    def spans_columns(self, xlo: int, xhi: int) -> bool:
+        """True if the rectangle covers every column of ``[xlo, xhi]``."""
+        return self.xmin <= xlo and xhi <= self.xmax
+
+    def spans_rows(self, ylo: int, yhi: int) -> bool:
+        """True if the rectangle covers every row of ``[ylo, yhi]``."""
+        return self.ymin <= ylo and yhi <= self.ymax
+
+    def __str__(self) -> str:  # paper notation
+        return f"[{self.xmin}:{self.xmax}, {self.ymin}:{self.ymax}]"

@@ -1,0 +1,51 @@
+"""N-dimensional meshes: the paper's stated future work, implemented.
+
+The paper closes with "Possible extensions to 3-D meshes and other
+high-dimensional mesh networks will be another focus".  This package carries
+the reproduction there, carefully separating what provably generalizes from
+what does not:
+
+- :mod:`repro.ndmesh.topology` -- ``k_1 x ... x k_d`` meshes, neighbours,
+  Manhattan distance, monotone direction sets.
+- :mod:`repro.ndmesh.blocks` -- Definition 1 generalized (a healthy node is
+  disabled when its unusable neighbours span two or more dimensions).  In
+  2-D the converged components are rectangles; in 3-D and above they need
+  *not* be boxes, and :func:`~repro.ndmesh.blocks.build_nd_blocks` reports
+  how far each component is from its bounding box instead of pretending.
+- :mod:`repro.ndmesh.safety` -- extended safety levels as a ``2d``-tuple of
+  clear distances, one per direction.
+- :mod:`repro.ndmesh.oracle` -- the exact monotone-path existence oracle
+  (dynamic programming over the source/destination box), the ground truth
+  in any dimension.
+- :mod:`repro.ndmesh.conditions` -- two sufficient conditions:
+
+  * :func:`~repro.ndmesh.conditions.axis_sections_clear`, the naive
+    generalization of Definition 3 ("every axis section at the source is
+    clear").  Sound in 2-D -- where it *is* Definition 3 -- but unsound in
+    3-D for arbitrary obstacle sets (the test-suite exhibits a 13-cell
+    counterexample) and only empirically unrefuted under the Definition-1
+    closure: exactly why the paper left higher dimensions as future work.
+  * :func:`~repro.ndmesh.conditions.segment_chain_safe`, a condition that
+    *is* sound in every dimension: a chain of axis-aligned, monotone,
+    clear segments from source to destination through known pivots
+    (the N-D form of the paper's Extensions 2 and 3 -- each link is
+    certified by one safety-level entry at its start node).
+"""
+
+from repro.ndmesh.topology import MeshND
+from repro.ndmesh.blocks import NDBlockSet, build_nd_blocks
+from repro.ndmesh.safety import NDSafetyLevels, compute_nd_safety_levels
+from repro.ndmesh.oracle import nd_minimal_path_exists, nd_monotone_path
+from repro.ndmesh.conditions import axis_sections_clear, segment_chain_safe
+
+__all__ = [
+    "MeshND",
+    "NDBlockSet",
+    "NDSafetyLevels",
+    "axis_sections_clear",
+    "build_nd_blocks",
+    "compute_nd_safety_levels",
+    "nd_minimal_path_exists",
+    "nd_monotone_path",
+    "segment_chain_safe",
+]

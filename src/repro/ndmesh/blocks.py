@@ -1,0 +1,145 @@
+"""Definition 1 generalized to N dimensions.
+
+A healthy node is disabled when its faulty/disabled neighbours span **two or
+more distinct dimensions** -- the straight reading of the paper's rule.  In
+2-D the converged components are exactly rectangles.  In 3-D we *expected*
+non-convex stable shapes, but could not produce one: every L, U, ring, or
+staircase we tried fills its bounding box (any concave corner lives in some
+axis plane, where the 2-D pinch argument applies), and randomized searches
+over thousands of fault sets found no component with ``fill_ratio < 1``.
+We therefore report the box-ness empirically rather than assuming it:
+components carry their bounding boxes and a ``fill_ratio`` diagnostic, and
+the test-suite asserts the observed fill ratio of 1.0 on randomized inputs
+so any future counterexample announces itself.
+
+One 2-D property that provably does *not* carry over: distinct 3-D blocks
+can sit at Chebyshev distance 1 (space-diagonal contact does not pinch any
+node, unlike planar diagonal contact), so the 2-D "blocks never touch"
+separation becomes "blocks never share a face or planar diagonal".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.ndmesh.topology import CoordND, MeshND
+
+
+def nd_disable_fixpoint(mesh: MeshND, faulty: np.ndarray) -> np.ndarray:
+    """Run the generalized disabling rule to a fixpoint (vectorised)."""
+    if faulty.shape != mesh.shape:
+        raise ValueError(f"grid shape {faulty.shape} does not match mesh {mesh.shape}")
+    unusable = faulty.copy()
+    while True:
+        per_axis_hit = []
+        for axis in range(mesh.dimensions):
+            forward = np.zeros_like(unusable)
+            backward = np.zeros_like(unusable)
+            src = [slice(None)] * mesh.dimensions
+            dst = [slice(None)] * mesh.dimensions
+            src[axis] = slice(1, None)
+            dst[axis] = slice(None, -1)
+            forward[tuple(dst)] = unusable[tuple(src)]
+            backward[tuple(src)] = unusable[tuple(dst)]
+            per_axis_hit.append(forward | backward)
+        dims_hit = np.zeros(mesh.shape, dtype=np.int8)
+        for hit in per_axis_hit:
+            dims_hit += hit.astype(np.int8)
+        grown = unusable | (dims_hit >= 2)
+        if np.array_equal(grown, unusable):
+            return unusable
+        unusable = grown
+
+
+@dataclass(frozen=True)
+class NDBlock:
+    """One connected unusable component and its bounding box."""
+
+    coords: frozenset[CoordND]
+    lower: CoordND  # bounding box corner (inclusive)
+    upper: CoordND  # bounding box corner (inclusive)
+
+    @property
+    def size(self) -> int:
+        return len(self.coords)
+
+    @property
+    def box_volume(self) -> int:
+        volume = 1
+        for lo, hi in zip(self.lower, self.upper):
+            volume *= hi - lo + 1
+        return volume
+
+    @property
+    def fill_ratio(self) -> float:
+        """1.0 means the component is exactly its bounding box (always true
+        in 2-D, not guaranteed above)."""
+        return self.size / self.box_volume
+
+    def contains(self, coord: CoordND) -> bool:
+        return coord in self.coords
+
+
+@dataclass
+class NDBlockSet:
+    mesh: MeshND
+    blocks: list[NDBlock]
+    faulty: np.ndarray
+    unusable: np.ndarray
+
+    def __iter__(self) -> Iterator[NDBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_faulty(self) -> int:
+        return int(self.faulty.sum())
+
+    @property
+    def num_disabled(self) -> int:
+        return int(self.unusable.sum()) - self.num_faulty
+
+    def is_unusable(self, coord: CoordND) -> bool:
+        return bool(self.unusable[coord])
+
+    def min_fill_ratio(self) -> float:
+        """Diagnostic: how box-like the components are (1.0 in 2-D)."""
+        if not self.blocks:
+            return 1.0
+        return min(block.fill_ratio for block in self.blocks)
+
+
+def build_nd_blocks(mesh: MeshND, faults: Iterable[CoordND]) -> NDBlockSet:
+    """Label, extract components, and package them."""
+    faulty = np.zeros(mesh.shape, dtype=bool)
+    for coord in faults:
+        mesh.require_in_bounds(coord)
+        faulty[coord] = True
+    unusable = nd_disable_fixpoint(mesh, faulty)
+
+    blocks: list[NDBlock] = []
+    seen = np.zeros(mesh.shape, dtype=bool)
+    for start in zip(*np.nonzero(unusable)):
+        start = tuple(int(c) for c in start)
+        if seen[start]:
+            continue
+        component: list[CoordND] = []
+        stack = [start]
+        seen[start] = True
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in mesh.neighbors(node):
+                if unusable[neighbor] and not seen[neighbor]:
+                    seen[neighbor] = True
+                    stack.append(neighbor)
+        lower = tuple(min(c[axis] for c in component) for axis in range(mesh.dimensions))
+        upper = tuple(max(c[axis] for c in component) for axis in range(mesh.dimensions))
+        blocks.append(NDBlock(coords=frozenset(component), lower=lower, upper=upper))
+    blocks.sort(key=lambda b: b.lower)
+    return NDBlockSet(mesh=mesh, blocks=blocks, faulty=faulty, unusable=unusable)

@@ -1,0 +1,145 @@
+"""Sufficient safe conditions in N dimensions.
+
+Two conditions, with very different standing:
+
+- :func:`axis_sections_clear` is the naive generalization of Definition 3
+  ("section ``[0, d_i]`` of every axis at the source is clear").  In 2-D it
+  is exactly the paper's condition and is sound (Theorem 1).  In 3-D its
+  soundness depends on the obstacle shapes: for *arbitrary* blocked sets it
+  is **unsound** -- an anti-diagonal barrier surface pierced only at the
+  axes, with small walls behind each pierce point, seals the box while
+  leaving every axis clear (the test-suite builds that 13-cell
+  counterexample in a 5x5x5 mesh).  Under the generalized Definition-1
+  closure the randomized searches in this repository found no
+  counterexample (diagonal barriers are not stable under the closure and
+  swell until they either become box-like or swallow an axis), but the
+  paper's planar boundary-hugging proof does not generalize, so the
+  condition is offered as a *heuristic* above 2-D -- precisely the open
+  edge the paper's "future work" points at.
+
+- :func:`segment_chain_safe` generalizes soundly to every dimension.  A
+  *clear segment* is a straight, axis-aligned, obstacle-free run, certified
+  by one extended-safety-level entry at its start node; a chain of clear
+  segments through known pivots, each segment moving toward the
+  destination, concatenates into a monotone path.  This is the N-D shape of
+  the paper's Extensions 2 and 3: the pivots' ESLs are the only remote
+  information needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.ndmesh.safety import NDSafetyLevels
+from repro.ndmesh.topology import CoordND
+
+__all__ = [
+    "axis_sections_clear",
+    "box_corner_pivots",
+    "clear_segment",
+    "segment_chain_safe",
+]
+
+
+def axis_sections_clear(
+    levels: NDSafetyLevels, source: CoordND, dest: CoordND
+) -> bool:
+    """The naive Definition-3 generalization: every axis section clear.
+
+    Sound in 2-D (it is Definition 3); a *heuristic* in higher dimensions --
+    see the module docstring and the 3-D counterexample test.
+    """
+    for axis, (s, d) in enumerate(zip(source, dest)):
+        offset = d - s
+        if offset == 0:
+            continue
+        sign = 1 if offset > 0 else -1
+        if abs(offset) > levels.level(source, axis, sign):
+            return False
+    return True
+
+
+def box_corner_pivots(source: CoordND, dest: CoordND) -> list[CoordND]:
+    """The corners of the source/destination box (``2^d`` points).
+
+    Chains of clear segments through box corners are exactly the
+    dimension-ordered staircase routes along the box's edges -- the natural
+    pivot family for :func:`segment_chain_safe`: every corner is axis-
+    aligned with ``2^(d-1)`` others, so no external alignment is needed.
+    Callers typically pass these plus any broadcast pivots they hold.
+    """
+    import itertools
+
+    corners = []
+    for choice in itertools.product(*zip(source, dest)):
+        if choice != source and choice != dest:
+            corners.append(choice)
+    return corners
+
+
+def clear_segment(levels: NDSafetyLevels, start: CoordND, end: CoordND) -> bool:
+    """True iff ``start`` and ``end`` differ along one axis and the straight
+    run between them is free of blocks (certified by ``start``'s ESL)."""
+    differing = [axis for axis in range(len(start)) if start[axis] != end[axis]]
+    if len(differing) != 1:
+        return False
+    axis = differing[0]
+    offset = end[axis] - start[axis]
+    sign = 1 if offset > 0 else -1
+    return abs(offset) <= levels.level(start, axis, sign)
+
+
+def segment_chain_safe(
+    levels: NDSafetyLevels,
+    source: CoordND,
+    dest: CoordND,
+    pivots: Sequence[CoordND],
+) -> bool:
+    """Sound sufficient condition in any dimension.
+
+    True iff a chain ``source -> p_1 -> ... -> dest`` of clear axis-aligned
+    segments exists where every pivot lies inside the source/destination box
+    (each segment is then automatically monotone, so the concatenation is a
+    minimal path).  BFS over the pivot graph; the direct source -> dest
+    segment and two-segment "L" chains are special cases.
+    """
+    lower = tuple(min(s, d) for s, d in zip(source, dest))
+    upper = tuple(max(s, d) for s, d in zip(source, dest))
+
+    def inside_box(coord: CoordND) -> bool:
+        return all(lo <= c <= hi for c, lo, hi in zip(coord, lower, upper))
+
+    waypoints = [p for p in dict.fromkeys(pivots) if inside_box(p) and p != source]
+    if dest not in waypoints:
+        waypoints.append(dest)
+
+    def segment_toward_dest(current: CoordND, candidate: CoordND) -> bool:
+        """The (single-axis) move must make progress toward ``dest`` --
+        otherwise the concatenated path would backtrack and lose minimality."""
+        differing = [axis for axis in range(len(current)) if current[axis] != candidate[axis]]
+        if len(differing) != 1:
+            return False
+        axis = differing[0]
+        move = candidate[axis] - current[axis]
+        remaining = dest[axis] - current[axis]
+        if remaining == 0:
+            return False
+        same_direction = (move > 0) == (remaining > 0)
+        return same_direction and abs(move) <= abs(remaining)
+
+    visited = {source}
+    queue: deque[CoordND] = deque([source])
+    while queue:
+        current = queue.popleft()
+        if current == dest:
+            return True
+        for candidate in waypoints:
+            if candidate in visited:
+                continue
+            if segment_toward_dest(current, candidate) and clear_segment(
+                levels, current, candidate
+            ):
+                visited.add(candidate)
+                queue.append(candidate)
+    return False

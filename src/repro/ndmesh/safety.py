@@ -1,0 +1,83 @@
+"""Extended safety levels in N dimensions.
+
+The 2-D 4-tuple ``(E, S, W, N)`` becomes ``2d`` entries: for every axis, the
+number of consecutive unusable-free nodes strictly ahead in the positive and
+the negative direction (:data:`repro.core.safety.UNBOUNDED` when clear to
+the mesh edge).  Computed with the same prefix/suffix scans as the 2-D
+version, applied per axis by rolling that axis to the front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.safety import UNBOUNDED
+from repro.ndmesh.topology import CoordND, MeshND
+
+
+@dataclass(frozen=True)
+class NDSafetyLevels:
+    """Per-node clear distances: ``positive[axis]`` / ``negative[axis]``
+    grids of shape ``mesh.shape``."""
+
+    mesh: MeshND
+    positive: tuple[np.ndarray, ...]
+    negative: tuple[np.ndarray, ...]
+
+    def level(self, coord: CoordND, axis: int, sign: int) -> int:
+        """Clear hops from ``coord`` along (axis, sign)."""
+        if sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {sign}")
+        grid = self.positive[axis] if sign == 1 else self.negative[axis]
+        return int(grid[coord])
+
+    def esl(self, coord: CoordND) -> tuple[int, ...]:
+        """All ``2d`` entries, ordered ``(+0, -0, +1, -1, ...)``."""
+        out: list[int] = []
+        for axis in range(self.mesh.dimensions):
+            out.append(int(self.positive[axis][coord]))
+            out.append(int(self.negative[axis][coord]))
+        return tuple(out)
+
+
+def _axis_scans(blocked_front: np.ndarray, big: int, small: int) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest blocked index at-or-after / at-or-before along axis 0."""
+    n = blocked_front.shape[0]
+    index_shape = (n,) + (1,) * (blocked_front.ndim - 1)
+    indices = np.arange(n).reshape(index_shape)
+    after = np.where(blocked_front, indices, big)
+    after = np.minimum.accumulate(after[::-1], axis=0)[::-1]
+    before = np.where(blocked_front, indices, small)
+    before = np.maximum.accumulate(before, axis=0)
+    return after, before
+
+
+def compute_nd_safety_levels(mesh: MeshND, blocked: np.ndarray) -> NDSafetyLevels:
+    """Clear-distance grids for every axis and direction."""
+    if blocked.shape != mesh.shape:
+        raise ValueError(f"grid shape {blocked.shape} does not match mesh {mesh.shape}")
+    big = UNBOUNDED + sum(mesh.shape)
+    small = -big
+    positive: list[np.ndarray] = []
+    negative: list[np.ndarray] = []
+    for axis in range(mesh.dimensions):
+        front = np.moveaxis(blocked, axis, 0)
+        after, before = _axis_scans(front, big, small)
+        n = front.shape[0]
+        pad_shape = (1,) + front.shape[1:]
+        # Strictly-ahead searches: shift the inclusive scans by one.
+        after_strict = np.concatenate(
+            [after[1:], np.full(pad_shape, big, dtype=np.int64)], axis=0
+        )
+        before_strict = np.concatenate(
+            [np.full(pad_shape, small, dtype=np.int64), before[:-1]], axis=0
+        )
+        index_shape = (n,) + (1,) * (front.ndim - 1)
+        indices = np.arange(n).reshape(index_shape)
+        pos = np.minimum(after_strict - indices - 1, UNBOUNDED)
+        neg = np.minimum(indices - before_strict - 1, UNBOUNDED)
+        positive.append(np.moveaxis(pos, 0, axis).copy())
+        negative.append(np.moveaxis(neg, 0, axis).copy())
+    return NDSafetyLevels(mesh=mesh, positive=tuple(positive), negative=tuple(negative))

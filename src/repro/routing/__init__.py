@@ -1,0 +1,34 @@
+"""Packet-level routing substrate.
+
+- :mod:`repro.routing.path` -- hop-by-hop path records with validity and
+  minimality checks.
+- :mod:`repro.routing.packet` -- packets as routed units (also used by the
+  distributed simulator protocols).
+- :mod:`repro.routing.router` -- the hop-function router driver and the
+  greedy adaptive baseline (which demonstrably fails without boundary
+  information, reproducing the paper's Figure 3 (a) discussion).
+- :mod:`repro.routing.oracle` -- global-information reference routers: plain
+  BFS shortest paths and the monotone-DP-guided minimal router (exact for
+  any obstacle shape, used for the MCC model and as ground truth).
+- :mod:`repro.routing.detour` -- the non-minimal guaranteed-delivery
+  baseline: XY routing that rounds faulty blocks along their perimeter
+  rings (the f-ring lineage the paper contrasts itself with).
+"""
+
+from repro.routing.detour import DetourRouter
+from repro.routing.packet import Packet, PacketStatus
+from repro.routing.path import Path
+from repro.routing.router import GreedyAdaptiveRouter, HopRouter, RoutingError
+from repro.routing.oracle import MonotoneOracleRouter, shortest_path_bfs
+
+__all__ = [
+    "DetourRouter",
+    "GreedyAdaptiveRouter",
+    "HopRouter",
+    "MonotoneOracleRouter",
+    "Packet",
+    "PacketStatus",
+    "Path",
+    "RoutingError",
+    "shortest_path_bfs",
+]

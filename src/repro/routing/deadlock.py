@@ -1,0 +1,155 @@
+"""Channel-dependency-graph deadlock analysis.
+
+The paper leaves deadlock to its citations ([1], [6], [13] handle wormhole
+deadlock with virtual channels); a routing *library* should still let a user
+check the classical Dally-Seitz condition: a routing function is
+deadlock-free on wormhole networks iff its **channel dependency graph**
+(CDG) is acyclic.  Nodes of the CDG are directed links; there is an edge
+from link `a -> b` when some routed packet can hold `a` while requesting
+`b`, i.e. the routing function forwards some (current, destination) state
+over `a` and then over `b`.
+
+:func:`channel_dependency_graph` enumerates dependencies by driving a hop
+function over every (source, destination) pair's actual route --
+appropriate for the deterministic/one-choice routers here.  For adaptive
+routers it explores *every* choice the router could make at each node when
+``expand_choices`` provides them.
+
+Classical results this module lets the tests re-establish on actual
+machinery:
+
+- XY (dimension-ordered) routing is deadlock-free (no y-to-x dependency);
+- fully adaptive minimal routing has CDG cycles (the four "turn cycles");
+- quadrant-restricted monotone routing (every Wu-protocol route for a fixed
+  destination quadrant) only ever turns between +x and +y, so its CDG is
+  acyclic -- per-quadrant traffic cannot deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.mesh.geometry import Coord, Direction
+from repro.mesh.topology import Mesh2D
+from repro.routing.path import Path
+
+Link = tuple[Coord, Coord]
+
+#: Yields the candidate next hops of some router state (current, dest).
+ChoiceExpander = Callable[[Coord, Coord], Iterable[Coord]]
+
+
+def dependencies_from_paths(paths: Iterable[Path]) -> set[tuple[Link, Link]]:
+    """CDG edges contributed by concrete routed paths."""
+    edges: set[tuple[Link, Link]] = set()
+    for path in paths:
+        hops = list(zip(path.nodes, path.nodes[1:]))
+        for held, requested in zip(hops, hops[1:]):
+            edges.add((held, requested))
+    return edges
+
+
+def dependencies_from_choices(
+    mesh: Mesh2D,
+    expander: ChoiceExpander,
+    pairs: Iterable[tuple[Coord, Coord]],
+) -> set[tuple[Link, Link]]:
+    """CDG edges from exploring every routing choice for the given pairs.
+
+    Walks the choice DAG of each (source, destination) pair: whenever the
+    expander allows hop ``u -> v`` followed by ``v -> w``, the dependency
+    ``(u,v) -> (v,w)`` is recorded.  States are memoized per destination.
+    """
+    edges: set[tuple[Link, Link]] = set()
+    for source, dest in pairs:
+        seen: set[Coord] = set()
+        frontier = [source]
+        while frontier:
+            current = frontier.pop()
+            if current in seen or current == dest:
+                continue
+            seen.add(current)
+            for nxt in expander(current, dest):
+                for onward in expander(nxt, dest) if nxt != dest else ():
+                    edges.add(((current, nxt), (nxt, onward)))
+                frontier.append(nxt)
+    return edges
+
+
+def find_cycle(edges: set[tuple[Link, Link]]) -> list[Link] | None:
+    """A cycle in the dependency graph, or ``None`` if acyclic.
+
+    Iterative DFS with colour marking; returns the cycle's links in order.
+    """
+    graph: dict[Link, list[Link]] = {}
+    for held, requested in edges:
+        graph.setdefault(held, []).append(requested)
+        graph.setdefault(requested, [])
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[Link, int] = {link: WHITE for link in graph}
+    parent: dict[Link, Link] = {}
+
+    for root in graph:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[Link, int]] = [(root, 0)]
+        color[root] = GREY
+        while stack:
+            node, index = stack[-1]
+            successors = graph[node]
+            if index < len(successors):
+                stack[-1] = (node, index + 1)
+                successor = successors[index]
+                if color[successor] == GREY:
+                    # Found a cycle: unwind it from the stack.
+                    cycle = [successor, node]
+                    cursor = node
+                    while cursor != successor:
+                        cursor = parent[cursor]
+                        cycle.append(cursor)
+                    cycle.reverse()
+                    return cycle[:-1]
+                if color[successor] == WHITE:
+                    color[successor] = GREY
+                    parent[successor] = node
+                    stack.append((successor, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_deadlock_free(edges: set[tuple[Link, Link]]) -> bool:
+    """Dally-Seitz: acyclic channel dependency graph."""
+    return find_cycle(edges) is None
+
+
+# ----------------------------------------------------------------------
+# Ready-made choice expanders
+# ----------------------------------------------------------------------
+
+
+def xy_choices(mesh: Mesh2D) -> ChoiceExpander:
+    """Dimension-ordered routing: x to completion, then y."""
+
+    def expand(current: Coord, dest: Coord) -> list[Coord]:
+        if current == dest:
+            return []
+        if dest[0] != current[0]:
+            direction = Direction.EAST if dest[0] > current[0] else Direction.WEST
+        else:
+            direction = Direction.NORTH if dest[1] > current[1] else Direction.SOUTH
+        nxt = direction.step(current)
+        return [nxt] if mesh.in_bounds(nxt) else []
+
+    return expand
+
+
+def fully_adaptive_minimal_choices(mesh: Mesh2D) -> ChoiceExpander:
+    """Any preferred neighbour (the unrestricted adaptive strawman)."""
+
+    def expand(current: Coord, dest: Coord) -> list[Coord]:
+        return mesh.preferred_neighbors(current, dest)
+
+    return expand

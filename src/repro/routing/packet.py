@@ -1,0 +1,64 @@
+"""Packets: the routed unit shared by the routers and the simulator."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mesh.geometry import Coord
+
+_packet_ids = itertools.count()
+
+
+class PacketStatus(enum.Enum):
+    IN_FLIGHT = "in-flight"
+    DELIVERED = "delivered"
+    DROPPED = "dropped"
+
+
+@dataclass
+class Packet:
+    """A routed packet with its accumulated hop trace.
+
+    The trace always starts at the source; :meth:`record_hop` appends each
+    visited node so a delivered packet's trace is exactly its path.
+    """
+
+    source: Coord
+    dest: Coord
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    status: PacketStatus = PacketStatus.IN_FLIGHT
+    trace: list[Coord] = field(default_factory=list)
+    drop_reason: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.trace:
+            self.trace.append(self.source)
+
+    @property
+    def current(self) -> Coord:
+        return self.trace[-1]
+
+    @property
+    def hops(self) -> int:
+        return len(self.trace) - 1
+
+    def record_hop(self, node: Coord) -> None:
+        if self.status is not PacketStatus.IN_FLIGHT:
+            raise RuntimeError(f"packet {self.packet_id} is {self.status.value}")
+        self.trace.append(node)
+        if node == self.dest:
+            self.status = PacketStatus.DELIVERED
+
+    def drop(self, reason: str) -> None:
+        self.status = PacketStatus.DROPPED
+        self.drop_reason = reason
+
+    def __str__(self) -> str:
+        return (
+            f"Packet#{self.packet_id}({self.source} -> {self.dest}, "
+            f"{self.status.value}, {self.hops} hops)"
+        )

@@ -1,0 +1,131 @@
+"""Router driver and the greedy adaptive baseline.
+
+A router is a *hop function*: given the current node and the destination it
+names the next node, using only whatever information the model grants it.
+:class:`HopRouter` supplies the shared drive loop; subclasses implement
+:meth:`HopRouter.next_hop`.
+
+:class:`GreedyAdaptiveRouter` is the paper's strawman: "any minimal routing
+that forwards the packet to a preferred neighbor".  Without boundary
+information it can enter a region from which every continuation is blocked
+(the paper's Figure 3 (a) discussion); the test-suite exhibits exactly that
+failure and shows Wu's protocol avoiding it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.mesh.geometry import Coord, Direction, manhattan_distance
+from repro.mesh.topology import Mesh2D
+from repro.routing.path import Path
+
+
+class RoutingError(RuntimeError):
+    """Raised when a router cannot make a legal move.
+
+    ``partial`` carries the trace up to the failure for diagnostics.
+    """
+
+    def __init__(self, message: str, partial: list[Coord] | None = None):
+        super().__init__(message)
+        self.partial = partial or []
+
+
+#: A tie-breaker picks among equally legal candidate directions.
+TieBreaker = Callable[[Coord, Coord, list[Direction]], Direction]
+
+
+def balanced_tie_breaker(current: Coord, dest: Coord, candidates: list[Direction]) -> Direction:
+    """Prefer the dimension with the larger remaining offset.
+
+    Keeps the packet near the diagonal, which maximizes later adaptivity;
+    deterministic so experiments are reproducible.
+    """
+    dx = abs(dest[0] - current[0])
+    dy = abs(dest[1] - current[1])
+    horizontal_first = dx >= dy
+    for direction in candidates:
+        if direction.is_horizontal == horizontal_first:
+            return direction
+    return candidates[0]
+
+
+def x_first_tie_breaker(current: Coord, dest: Coord, candidates: list[Direction]) -> Direction:
+    """Dimension-ordered (XY) choice; with no faults this is e-cube routing."""
+    for direction in candidates:
+        if direction.is_horizontal:
+            return direction
+    return candidates[0]
+
+
+class HopRouter(abc.ABC):
+    """Shared drive loop over an abstract hop function."""
+
+    def __init__(self, mesh: Mesh2D):
+        self.mesh = mesh
+
+    @abc.abstractmethod
+    def next_hop(self, current: Coord, dest: Coord) -> Coord:
+        """The next node toward ``dest``; raises :class:`RoutingError` if stuck."""
+
+    def route(self, source: Coord, dest: Coord, max_hops: int | None = None) -> Path:
+        """Drive the hop function from source to destination.
+
+        ``max_hops`` defaults to ``D(source, dest) + 2 * mesh.size`` as a
+        runaway guard; minimal routers take exactly ``D`` hops because every
+        move is to a preferred neighbour.
+        """
+        self.mesh.require_in_bounds(source)
+        self.mesh.require_in_bounds(dest)
+        limit = max_hops if max_hops is not None else (
+            manhattan_distance(source, dest) + 2 * self.mesh.size
+        )
+        trace = [source]
+        current = source
+        while current != dest:
+            if len(trace) - 1 >= limit:
+                raise RoutingError(f"hop limit {limit} exceeded", partial=trace)
+            current = self.next_hop(current, dest)
+            trace.append(current)
+        return Path.of(trace)
+
+
+@dataclass
+class _GreedyConfig:
+    tie_breaker: TieBreaker = balanced_tie_breaker
+
+
+class GreedyAdaptiveRouter(HopRouter):
+    """Forward to any free preferred neighbour; no fault information.
+
+    Minimal when it succeeds (every hop decreases the distance) but may get
+    stuck against a block: that failure mode is exactly why the paper
+    distributes boundary information.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        blocked: np.ndarray,
+        tie_breaker: TieBreaker = balanced_tie_breaker,
+    ):
+        super().__init__(mesh)
+        self.blocked = blocked
+        self.tie_breaker = tie_breaker
+
+    def next_hop(self, current: Coord, dest: Coord) -> Coord:
+        candidates = [
+            direction
+            for direction in self.mesh.preferred_directions(current, dest)
+            if not self.blocked[direction.step(current)]
+        ]
+        if not candidates:
+            raise RoutingError(
+                f"greedy routing stuck at {current} toward {dest}", partial=[current]
+            )
+        return self.tie_breaker(current, dest, candidates).step(current)

@@ -1,0 +1,40 @@
+"""Discrete-event message-passing simulator.
+
+The paper's information models are *distributed*: fault-block labelling,
+boundary-line distribution, and extended-safety-level formation all run as
+local protocols where each node only talks to its four neighbours.  This
+package provides the substrate to execute them as such:
+
+- :mod:`repro.simulator.engine` -- a discrete-event engine (time-ordered
+  callback queue).
+- :mod:`repro.simulator.messages` -- messages exchanged between nodes.
+- :mod:`repro.simulator.channels` -- FIFO links with latency and counters.
+- :mod:`repro.simulator.process` -- the per-node process abstraction.
+- :mod:`repro.simulator.network` -- a mesh of node processes wired by
+  channels.
+- :mod:`repro.simulator.protocols` -- the paper's protocols, each validated
+  against its centralized counterpart in the test-suite:
+
+  ==========================  =================================================
+  protocol                    centralized counterpart
+  ==========================  =================================================
+  ``block_formation``         :func:`repro.faults.blocks.disable_fixpoint`
+  ``mcc_formation``           :func:`repro.faults.mcc.label_statuses`
+  ``safety_propagation``      :func:`repro.core.safety.compute_safety_levels`
+  ``boundary_distribution``   :class:`repro.core.boundaries.CanonicalBoundaryMap`
+  ``region_exchange``         :func:`repro.core.segments.build_axis_segments`
+  ``pivot_broadcast``         (pivot ESL table lookup)
+  ==========================  =================================================
+
+Each ``run_*`` entry point returns the protocol result plus a
+:class:`~repro.simulator.network.NetworkStats` with message and convergence
+accounting -- the raw material for the cost-versus-effectiveness ablation
+bench (the paper's stated future work).
+"""
+
+from repro.simulator.engine import Engine
+from repro.simulator.messages import Message
+from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.process import NodeProcess
+
+__all__ = ["Engine", "Message", "MeshNetwork", "NetworkStats", "NodeProcess"]

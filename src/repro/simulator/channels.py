@@ -1,0 +1,50 @@
+"""Point-to-point links between neighbouring nodes.
+
+A channel models one directed mesh link: fixed latency, FIFO delivery,
+per-channel counters.  Failed nodes simply have their channels marked down;
+messages to a down channel are dropped (and counted), which is how the
+simulator expresses that faulty nodes neither receive nor forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.mesh.geometry import Coord, Direction
+from repro.simulator.messages import Message
+
+if TYPE_CHECKING:
+    from repro.simulator.engine import Engine
+
+
+@dataclass
+class Channel:
+    """A directed link ``src -> dst`` with fixed latency."""
+
+    src: Coord
+    dst: Coord
+    direction: Direction  # as seen from src
+    latency: float
+    engine: "Engine"
+    deliver: Callable[[Coord, Message], None]
+    up: bool = True
+    messages_carried: int = 0
+    messages_dropped: int = 0
+
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery after the link latency."""
+        if not self.up:
+            self.messages_dropped += 1
+            return
+        self.messages_carried += 1
+        # The receiver sees the message arriving from the opposite side.
+        annotated = message.delivered_via(self.direction.opposite)
+        self.engine.schedule(self.latency, self.deliver, self.dst, annotated)
+
+    def take_down(self) -> None:
+        self.up = False
+
+    def __str__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"Channel {self.src} -> {self.dst} ({state}, {self.messages_carried} msgs)"

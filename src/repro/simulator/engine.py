@@ -1,0 +1,72 @@
+"""Discrete-event engine.
+
+A minimal, deterministic event queue: callbacks scheduled at simulated
+times, executed in time order (FIFO among equal timestamps via a
+monotonically increasing sequence number, so runs are reproducible).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+
+
+class Engine:
+    """Time-ordered callback executor."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.events_processed: int = 0
+        self._queue: list[_Event] = []
+        self._sequence = itertools.count()
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, _Event(self.now + delay, next(self._sequence), callback, args)
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        self.events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        ``until`` stops before events later than the given time;
+        ``max_events`` bounds runaway protocols (raises if exceeded).
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(
+                    f"event budget of {max_events} exhausted at t={self.now} "
+                    f"({self.pending} events pending)"
+                )
+            self.step()
+            processed += 1
+        return processed

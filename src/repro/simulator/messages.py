@@ -1,0 +1,40 @@
+"""Messages exchanged by node processes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mesh.geometry import Coord, Direction
+
+
+@dataclass(frozen=True)
+class Message:
+    """One hop-to-hop message.
+
+    ``kind`` discriminates protocol message types (e.g. ``"esl"``,
+    ``"boundary"``); ``payload`` is protocol-specific and must be treated as
+    immutable by receivers.  ``arrival_direction`` is filled in by the
+    channel on delivery: the direction the message *came from* as seen by
+    the receiver (the paper's FORMATION algorithm dispatches on exactly
+    this).
+    """
+
+    src: Coord
+    dst: Coord
+    kind: str
+    payload: Any = None
+    arrival_direction: Direction | None = None
+
+    def delivered_via(self, direction: Direction) -> "Message":
+        """A copy annotated with the receiver-side arrival direction."""
+        return Message(
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            payload=self.payload,
+            arrival_direction=direction,
+        )
+
+    def __str__(self) -> str:
+        return f"Message[{self.kind}] {self.src} -> {self.dst}"

@@ -1,0 +1,108 @@
+"""A mesh of node processes wired by channels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.mesh.geometry import Coord, Direction
+from repro.mesh.topology import Mesh2D
+from repro.simulator.channels import Channel
+from repro.simulator.engine import Engine
+from repro.simulator.messages import Message
+from repro.simulator.process import NodeProcess
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Protocol cost accounting, read after a run converges."""
+
+    messages: int
+    dropped: int
+    events: int
+    converged_at: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.messages} messages ({self.dropped} dropped), "
+            f"{self.events} events, converged at t={self.converged_at:g}"
+        )
+
+
+class MeshNetwork:
+    """All node processes of one mesh plus the directed channels between
+    them.
+
+    ``faulty`` nodes get no process and their incident channels are down:
+    they neither originate, forward, nor receive (the fail-stop model the
+    paper assumes).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        engine: Engine,
+        node_factory: Callable[[Coord, "MeshNetwork"], NodeProcess],
+        faulty: Iterable[Coord] = (),
+        latency: float = 1.0,
+    ):
+        self.mesh = mesh
+        self.engine = engine
+        self.latency = latency
+        self.faulty: set[Coord] = set(faulty)
+        for coord in self.faulty:
+            mesh.require_in_bounds(coord)
+
+        self.nodes: dict[Coord, NodeProcess] = {
+            coord: node_factory(coord, self)
+            for coord in mesh.nodes()
+            if coord not in self.faulty
+        }
+        self.channels: dict[tuple[Coord, Direction], Channel] = {}
+        for coord in mesh.nodes():
+            for direction, neighbor in mesh.neighbor_items(coord):
+                channel = Channel(
+                    src=coord,
+                    dst=neighbor,
+                    direction=direction,
+                    latency=latency,
+                    engine=engine,
+                    deliver=self._deliver,
+                    up=coord not in self.faulty and neighbor not in self.faulty,
+                )
+                self.channels[(coord, direction)] = channel
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+    def send_from(self, src: Coord, direction: Direction, kind: str, payload) -> bool:
+        """Send one hop; False if the link does not exist (mesh edge)."""
+        channel = self.channels.get((src, direction))
+        if channel is None:
+            return False
+        channel.send(Message(src=src, dst=channel.dst, kind=kind, payload=payload))
+        return True
+
+    def _deliver(self, dst: Coord, message: Message) -> None:
+        process = self.nodes.get(dst)
+        if process is not None:
+            process.on_message(message)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_events: int | None = None) -> NetworkStats:
+        """Start every process and drain the engine to quiescence."""
+        for process in self.nodes.values():
+            process.start()
+        budget = max_events if max_events is not None else 200 * self.mesh.size + 10_000
+        events = self.engine.run(max_events=budget)
+        return NetworkStats(
+            messages=sum(c.messages_carried for c in self.channels.values()),
+            dropped=sum(c.messages_dropped for c in self.channels.values()),
+            events=events,
+            converged_at=self.engine.now,
+        )
+
+    def process_at(self, coord: Coord) -> NodeProcess:
+        return self.nodes[coord]

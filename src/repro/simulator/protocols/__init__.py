@@ -1,0 +1,25 @@
+"""The paper's distributed information protocols.
+
+Each module exposes a ``run_*`` entry point that builds a
+:class:`~repro.simulator.network.MeshNetwork`, executes the protocol to
+quiescence, and returns the distributed result together with
+:class:`~repro.simulator.network.NetworkStats` cost accounting.  The
+test-suite validates every protocol against its centralized counterpart
+(see the table in :mod:`repro.simulator`).
+"""
+
+from repro.simulator.protocols.block_formation import run_block_formation
+from repro.simulator.protocols.mcc_formation import run_mcc_formation
+from repro.simulator.protocols.safety_propagation import run_safety_propagation
+from repro.simulator.protocols.boundary_distribution import run_boundary_distribution
+from repro.simulator.protocols.region_exchange import run_region_exchange
+from repro.simulator.protocols.pivot_broadcast import run_pivot_broadcast
+
+__all__ = [
+    "run_block_formation",
+    "run_boundary_distribution",
+    "run_mcc_formation",
+    "run_pivot_broadcast",
+    "run_region_exchange",
+    "run_safety_propagation",
+]

@@ -1,0 +1,81 @@
+"""Distributed faulty-block formation (Definition 1 as a local protocol).
+
+Every healthy node knows only which of its neighbours are faulty (fail-stop
+detection).  A node whose unusable neighbours span both dimensions disables
+itself and announces the change; announcements ripple until no node changes
+-- exactly the fixpoint of :func:`repro.faults.blocks.disable_fixpoint`,
+which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.geometry import Coord, Direction
+from repro.mesh.topology import Mesh2D
+from repro.simulator.engine import Engine
+from repro.simulator.messages import Message
+from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.process import NodeProcess
+
+
+class BlockFormationProcess(NodeProcess):
+    """State machine for one healthy node."""
+
+    def __init__(self, coord: Coord, network: MeshNetwork, faulty_dirs: frozenset[Direction]):
+        super().__init__(coord, network)
+        self.unusable_dirs: set[Direction] = set(faulty_dirs)
+        self.disabled = False
+
+    def start(self) -> None:
+        self._maybe_disable()
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != "disabled":
+            raise ValueError(f"unexpected message kind {message.kind!r}")
+        assert message.arrival_direction is not None
+        self.unusable_dirs.add(message.arrival_direction)
+        self._maybe_disable()
+
+    def _maybe_disable(self) -> None:
+        if self.disabled:
+            return
+        horizontal = any(d.is_horizontal for d in self.unusable_dirs)
+        vertical = any(d.is_vertical for d in self.unusable_dirs)
+        if horizontal and vertical:
+            self.disabled = True
+            self.broadcast("disabled")
+
+
+@dataclass(frozen=True)
+class BlockFormationResult:
+    unusable: np.ndarray  # faulty or disabled, as the protocol converged to it
+    stats: NetworkStats
+
+
+def run_block_formation(
+    mesh: Mesh2D, faults: list[Coord], latency: float = 1.0
+) -> BlockFormationResult:
+    """Run the labelling protocol to quiescence."""
+    fault_set = set(faults)
+
+    def factory(coord: Coord, network: MeshNetwork) -> BlockFormationProcess:
+        faulty_dirs = frozenset(
+            direction
+            for direction, neighbor in mesh.neighbor_items(coord)
+            if neighbor in fault_set
+        )
+        return BlockFormationProcess(coord, network, faulty_dirs)
+
+    network = MeshNetwork(mesh, Engine(), factory, faulty=fault_set, latency=latency)
+    stats = network.run()
+
+    unusable = np.zeros((mesh.n, mesh.m), dtype=bool)
+    for coord in fault_set:
+        unusable[coord] = True
+    for coord, process in network.nodes.items():
+        if isinstance(process, BlockFormationProcess) and process.disabled:
+            unusable[coord] = True
+    return BlockFormationResult(unusable=unusable, stats=stats)

@@ -1,0 +1,102 @@
+"""Distributed extended-safety-level formation (the paper's
+FORMATION-EXTENDED-SAFETY-LEVEL-INFORMATION algorithm, Sec. 4).
+
+Runs *after* block formation: every node knows which of its neighbours sit
+inside a faulty block.  A node with a blocked East neighbour sets ``E = 0``
+and tells its West neighbour, which sets ``E = 0 + 1`` and forwards further
+West -- the paper's case dispatch on the sender's direction, with the
+default level being unbounded so clear rows/columns exchange nothing.
+
+Nodes inside blocks do not participate (their channels are down), which is
+also what partitions each affected row/column into the disjoint regions the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.safety import UNBOUNDED, SafetyLevels
+from repro.mesh.geometry import Coord, Direction
+from repro.mesh.topology import Mesh2D
+from repro.simulator.engine import Engine
+from repro.simulator.messages import Message
+from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.process import NodeProcess
+
+
+class SafetyFormationProcess(NodeProcess):
+    def __init__(self, coord: Coord, network: MeshNetwork, blocked_dirs: frozenset[Direction]):
+        super().__init__(coord, network)
+        self.levels: dict[Direction, int] = {d: UNBOUNDED for d in Direction}
+        self._blocked_dirs = blocked_dirs
+
+    def start(self) -> None:
+        for direction in self._blocked_dirs:
+            self._update(direction, 0)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != "esl":
+            raise ValueError(f"unexpected message kind {message.kind!r}")
+        assert message.arrival_direction is not None
+        # A level arriving from the East is an E-chain value, etc.
+        self._update(message.arrival_direction, int(message.payload) + 1)
+
+    def _update(self, direction: Direction, value: int) -> None:
+        """Adopt a tighter level for ``direction`` and forward it onward."""
+        if value >= self.levels[direction]:
+            return
+        self.levels[direction] = value
+        self.send(direction.opposite, "esl", value)
+
+    def esl(self) -> tuple[int, int, int, int]:
+        return (
+            self.levels[Direction.EAST],
+            self.levels[Direction.SOUTH],
+            self.levels[Direction.WEST],
+            self.levels[Direction.NORTH],
+        )
+
+
+@dataclass(frozen=True)
+class SafetyPropagationResult:
+    levels: SafetyLevels  # same container the centralized computation fills
+    stats: NetworkStats
+
+
+def run_safety_propagation(
+    mesh: Mesh2D, unusable: np.ndarray, latency: float = 1.0
+) -> SafetyPropagationResult:
+    """Run the FORMATION algorithm over the blocked-node grid.
+
+    Entries for blocked nodes are left at 0 in the result grids; they carry
+    no meaning (the centralized counterpart is only compared on free nodes).
+    """
+    blocked_coords = {(int(x), int(y)) for x, y in zip(*np.nonzero(unusable))}
+
+    def factory(coord: Coord, network: MeshNetwork) -> SafetyFormationProcess:
+        blocked_dirs = frozenset(
+            direction
+            for direction, neighbor in mesh.neighbor_items(coord)
+            if neighbor in blocked_coords
+        )
+        return SafetyFormationProcess(coord, network, blocked_dirs)
+
+    network = MeshNetwork(mesh, Engine(), factory, faulty=blocked_coords, latency=latency)
+    stats = network.run()
+
+    grids = {d: np.zeros((mesh.n, mesh.m), dtype=np.int64) for d in Direction}
+    for coord, process in network.nodes.items():
+        assert isinstance(process, SafetyFormationProcess)
+        for direction in Direction:
+            grids[direction][coord] = process.levels[direction]
+    levels = SafetyLevels(
+        mesh=mesh,
+        east=grids[Direction.EAST],
+        south=grids[Direction.SOUTH],
+        west=grids[Direction.WEST],
+        north=grids[Direction.NORTH],
+    )
+    return SafetyPropagationResult(levels=levels, stats=stats)

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.blocks import BlockSet, build_faulty_blocks
+from repro.mesh.geometry import Coord
+from repro.mesh.topology import Mesh2D
+
+#: The paper's Figure 1 worked example: eight faults whose faulty block is
+#: exactly [2:6, 3:6] in a mesh large enough to hold it.
+FIGURE1_FAULTS: list[Coord] = [
+    (3, 3),
+    (3, 4),
+    (4, 4),
+    (5, 4),
+    (6, 4),
+    (2, 5),
+    (5, 5),
+    (3, 6),
+]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20020701)  # ICDCS 2002 vintage seed
+
+
+@pytest.fixture
+def mesh20() -> Mesh2D:
+    return Mesh2D(20, 20)
+
+
+@pytest.fixture
+def figure1_blocks() -> BlockSet:
+    return build_faulty_blocks(Mesh2D(10, 10), FIGURE1_FAULTS)
+
+
+def random_block_set(mesh: Mesh2D, num_faults: int, rng: np.random.Generator) -> BlockSet:
+    """A block set from uniformly random faults (no source constraint)."""
+    from repro.faults.injection import uniform_faults
+
+    return build_faulty_blocks(mesh, uniform_faults(mesh, num_faults, rng))

@@ -1,0 +1,121 @@
+"""Unit tests for the analytical models and statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.affected_rows import (
+    count_affected_columns,
+    count_affected_rows,
+    expected_affected_rows,
+)
+from repro.analysis.statistics import mean_and_ci, proportion_ci
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import uniform_faults
+from repro.faults.mcc import MCCType, build_mccs
+from repro.mesh.topology import Mesh2D
+
+
+class TestExpectedAffectedRows:
+    def test_boundary_values(self):
+        assert expected_affected_rows(100, 0) == 0.0
+        assert 0.9 < expected_affected_rows(100, 1) <= 1.0
+        assert expected_affected_rows(100, 10**9) == 100.0
+
+    def test_monotone_in_k(self):
+        values = [expected_affected_rows(200, k) for k in range(0, 201, 10)]
+        assert values == sorted(values)
+        assert all(v <= 200 for v in values)
+
+    def test_paper_anchor_points(self):
+        """Paper: ~20% affected at k=50, ~40% at k=100, ~60% at k=200."""
+        n = 200
+        assert expected_affected_rows(n, 50) / n == pytest.approx(0.20, abs=0.04)
+        assert expected_affected_rows(n, 100) / n == pytest.approx(0.40, abs=0.05)
+        assert expected_affected_rows(n, 200) / n == pytest.approx(0.60, abs=0.06)
+
+    def test_sublinear_growth(self):
+        """Hits get rarer as rows fill up: strictly concave growth."""
+        n = 200
+        first = expected_affected_rows(n, 50)
+        second = expected_affected_rows(n, 100) - first
+        third = expected_affected_rows(n, 150) - first - second
+        assert first > second > third > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_affected_rows(0, 5)
+        with pytest.raises(ValueError):
+            expected_affected_rows(10, -1)
+
+    def test_matches_simulation(self, rng):
+        """Analytical vs empirical affected-row fraction (Figure 7's point)."""
+        n, k, trials = 100, 60, 40
+        mesh = Mesh2D(n, n)
+        counts = []
+        for _ in range(trials):
+            blocks = build_faulty_blocks(mesh, uniform_faults(mesh, k, rng))
+            counts.append(count_affected_rows(blocks.unusable))
+        empirical = sum(counts) / trials
+        assert empirical == pytest.approx(expected_affected_rows(n, k), rel=0.1)
+
+
+class TestAffectedCounts:
+    def test_counts_match_hand_example(self):
+        mesh = Mesh2D(8, 8)
+        blocks = build_faulty_blocks(mesh, [(1, 1), (2, 2), (5, 1)])
+        # Diagonal pair fills [1:2, 1:2]; single at (5, 1).
+        assert count_affected_rows(blocks.unusable) == 2  # rows 1, 2
+        assert count_affected_columns(blocks.unusable) == 3  # columns 1, 2, 5
+
+    def test_theorem2_model_equivalence(self, rng):
+        """Disabled nodes create no new affected rows/columns: the counts
+        agree between the faulty block and MCC models (Theorem 2's remark)."""
+        mesh = Mesh2D(40, 40)
+        for _ in range(10):
+            faults = uniform_faults(mesh, 30, rng)
+            blocks = build_faulty_blocks(mesh, faults)
+            mccs = build_mccs(mesh, faults, MCCType.TYPE_ONE)
+            faulty_grid = blocks.faulty
+            assert count_affected_rows(blocks.unusable) == count_affected_rows(faulty_grid)
+            assert count_affected_rows(mccs.blocked) == count_affected_rows(faulty_grid)
+            assert count_affected_columns(blocks.unusable) == count_affected_columns(
+                faulty_grid
+            )
+
+
+class TestStatistics:
+    def test_mean_and_ci(self):
+        estimate = mean_and_ci([1.0, 2.0, 3.0, 4.0])
+        assert estimate.value == pytest.approx(2.5)
+        assert estimate.low < 2.5 < estimate.high
+        assert estimate.samples == 4
+
+    def test_mean_single_sample(self):
+        estimate = mean_and_ci([3.0])
+        assert estimate.value == 3.0
+        assert estimate.half_width == float("inf")
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_ci([])
+
+    def test_proportion_point_estimate_is_raw(self):
+        assert proportion_ci(90, 90).value == 1.0
+        assert proportion_ci(0, 90).value == 0.0
+        assert proportion_ci(45, 90).value == pytest.approx(0.5)
+
+    def test_proportion_interval_shrinks_with_trials(self):
+        wide = proportion_ci(5, 10)
+        narrow = proportion_ci(500, 1000)
+        assert narrow.half_width < wide.half_width
+
+    def test_proportion_invalid(self):
+        with pytest.raises(ValueError):
+            proportion_ci(1, 0)
+        with pytest.raises(ValueError):
+            proportion_ci(11, 10)
+        with pytest.raises(ValueError):
+            proportion_ci(-1, 10)
+
+    def test_estimate_str(self):
+        assert "n=4" in str(mean_and_ci([1.0, 2.0, 3.0, 4.0]))

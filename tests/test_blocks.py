@@ -1,0 +1,130 @@
+"""Unit tests for the faulty block model (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.blocks import build_faulty_blocks, disable_fixpoint
+from repro.mesh.geometry import Rect
+from repro.mesh.topology import Mesh2D
+
+from tests.conftest import FIGURE1_FAULTS, random_block_set
+
+
+class TestPaperExample:
+    """The worked example of paper Figure 1 (a)."""
+
+    def test_eight_faults_form_the_paper_block(self, figure1_blocks):
+        assert len(figure1_blocks) == 1
+        assert figure1_blocks.blocks[0].rect == Rect(2, 6, 3, 6)
+
+    def test_faulty_and_disabled_partition_the_rectangle(self, figure1_blocks):
+        block = figure1_blocks.blocks[0]
+        assert block.num_faulty == len(FIGURE1_FAULTS)
+        assert block.num_faulty + block.num_disabled == block.rect.area
+        assert set(block.faulty) | set(block.disabled) == set(block.rect.coords())
+
+    def test_grid_accessors(self, figure1_blocks):
+        assert figure1_blocks.is_faulty((3, 3))
+        assert figure1_blocks.is_unusable((4, 3))  # disabled corner-fill
+        assert not figure1_blocks.is_faulty((4, 3))
+        assert not figure1_blocks.is_unusable((0, 0))
+        assert figure1_blocks.block_at((4, 5)) is figure1_blocks.blocks[0]
+        assert figure1_blocks.block_at((0, 0)) is None
+
+
+class TestDisableRule:
+    def test_no_faults_no_disabling(self):
+        mesh = Mesh2D(6, 6)
+        blocks = build_faulty_blocks(mesh, [])
+        assert len(blocks) == 0
+        assert blocks.num_faulty == 0 and blocks.num_disabled == 0
+
+    def test_single_fault_is_own_block(self):
+        blocks = build_faulty_blocks(Mesh2D(6, 6), [(2, 3)])
+        assert len(blocks) == 1
+        assert blocks.blocks[0].rect == Rect(2, 2, 3, 3)
+        assert blocks.blocks[0].num_disabled == 0
+
+    def test_diagonal_faults_fill_square(self):
+        """Two diagonal faults pinch both off-diagonal nodes."""
+        blocks = build_faulty_blocks(Mesh2D(6, 6), [(1, 1), (2, 2)])
+        assert len(blocks) == 1
+        assert blocks.blocks[0].rect == Rect(1, 2, 1, 2)
+        assert blocks.blocks[0].num_disabled == 2
+
+    def test_same_dimension_neighbors_do_not_disable(self):
+        """Faults at (x, y-1) and (x, y+1) are in the same dimension."""
+        blocks = build_faulty_blocks(Mesh2D(6, 6), [(2, 1), (2, 3)])
+        assert len(blocks) == 2
+        assert not blocks.is_unusable((2, 2))
+
+    def test_staircase_fills_bounding_square(self):
+        blocks = build_faulty_blocks(Mesh2D(8, 8), [(1, 1), (2, 2), (3, 3)])
+        assert len(blocks) == 1
+        assert blocks.blocks[0].rect == Rect(1, 3, 1, 3)
+        assert blocks.blocks[0].num_disabled == 9 - 3
+
+    def test_corner_of_mesh_fills(self):
+        """Faults at (0,1) and (1,0) disable the mesh corner (0,0)."""
+        blocks = build_faulty_blocks(Mesh2D(6, 6), [(0, 1), (1, 0)])
+        assert blocks.is_unusable((0, 0))
+        assert blocks.is_unusable((1, 1))
+        assert blocks.blocks[0].rect == Rect(0, 1, 0, 1)
+
+    def test_touching_blocks_merge(self):
+        """Side-by-side faults connect into a single block."""
+        blocks = build_faulty_blocks(Mesh2D(8, 8), [(2, 2), (3, 2)])
+        assert len(blocks) == 1
+        assert blocks.blocks[0].rect == Rect(2, 3, 2, 2)
+
+    def test_gap_of_one_in_same_dimension_stays_separate(self):
+        blocks = build_faulty_blocks(Mesh2D(8, 8), [(2, 2), (4, 2)])
+        assert len(blocks) == 2
+        assert not blocks.is_unusable((3, 2))
+
+    def test_fixpoint_is_idempotent(self, rng):
+        mesh = Mesh2D(30, 30)
+        faulty = np.zeros((30, 30), dtype=bool)
+        for _ in range(40):
+            faulty[rng.integers(0, 30), rng.integers(0, 30)] = True
+        once = disable_fixpoint(faulty)
+        twice = disable_fixpoint(once)
+        assert np.array_equal(once, twice)
+
+
+class TestBlockSetInvariants:
+    @pytest.mark.parametrize("num_faults", [5, 25, 60])
+    def test_random_blocks_are_disjoint_rectangles(self, rng, num_faults):
+        mesh = Mesh2D(40, 40)
+        for _ in range(5):
+            blocks = random_block_set(mesh, num_faults, rng)
+            # Definition 1 converged without the defensive completion.
+            assert blocks.rectangularization_rounds == 0
+            # Components exactly fill their rectangles and never overlap.
+            covered = np.zeros((mesh.n, mesh.m), dtype=bool)
+            for block in blocks:
+                for coord in block.rect.coords():
+                    assert blocks.unusable[coord]
+                    assert not covered[coord]
+                    covered[coord] = True
+            assert np.array_equal(covered, blocks.unusable)
+
+    def test_block_id_grid_matches_blocks(self, rng):
+        mesh = Mesh2D(30, 30)
+        blocks = random_block_set(mesh, 30, rng)
+        for index, block in enumerate(blocks):
+            for coord in block.rect.coords():
+                assert blocks.block_id[coord] == index
+
+    def test_counts(self, figure1_blocks):
+        assert figure1_blocks.num_faulty == 8
+        assert figure1_blocks.num_disabled == 20 - 8
+        assert figure1_blocks.average_disabled_per_block() == 12.0
+
+    def test_average_disabled_empty(self):
+        blocks = build_faulty_blocks(Mesh2D(5, 5), [])
+        assert blocks.average_disabled_per_block() == 0.0
+
+    def test_out_of_bounds_fault_raises(self):
+        with pytest.raises(ValueError):
+            build_faulty_blocks(Mesh2D(5, 5), [(5, 0)])

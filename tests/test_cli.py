@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(lines)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_coordinate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--dest", "banana"])
+
+    def test_bad_figure_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig99"])
+
+
+class TestScenario:
+    def test_renders_blocks(self):
+        code, output = _run(["scenario", "--side", "16", "--faults", "10", "--seed", "4"])
+        assert code == 0
+        assert "blocks" in output
+        assert "#" in output
+
+    def test_renders_mcc(self):
+        code, output = _run(
+            ["scenario", "--side", "16", "--faults", "12", "--seed", "4", "--mcc"]
+        )
+        assert code == 0
+        assert "can't-reach" in output
+
+
+class TestRoute:
+    def test_wu_route(self):
+        code, output = _run(
+            ["route", "--side", "16", "--faults", "8", "--seed", "3", "--dest", "14,14"]
+        )
+        assert code == 0
+        assert "delivered" in output and "minimal" in output
+        assert "D" in output
+
+    @pytest.mark.parametrize("router", ["greedy", "detour", "oracle"])
+    def test_other_routers(self, router):
+        code, output = _run(
+            [
+                "route", "--side", "16", "--faults", "5", "--seed", "3",
+                "--dest", "14,14", "--router", router,
+            ]
+        )
+        assert code == 0
+        assert "delivered" in output
+
+    def test_source_flag(self):
+        code, output = _run(
+            [
+                "route", "--side", "16", "--faults", "0", "--seed", "1",
+                "--source", "2,2", "--dest", "5,5",
+            ]
+        )
+        assert code == 0
+        assert "6 hops" in output
+
+    def test_endpoint_errors(self):
+        code, output = _run(
+            [
+                "route", "--side", "16", "--faults", "0", "--seed", "1",
+                "--dest", "99,99",
+            ]
+        )
+        assert code == 2
+        assert "outside the mesh" in output
+
+
+class TestProtocols:
+    def test_cost_table(self):
+        code, output = _run(["protocols", "--side", "16", "--faults", "10"])
+        assert code == 0
+        for name in ("block formation", "ESL formation", "pivot broadcast"):
+            assert name in output
+
+
+class TestFigures:
+    def test_single_quick_figure_with_csv(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        # Shrink the quick preset further for test speed.
+        from repro.experiments import ExperimentConfig
+
+        tiny = ExperimentConfig.scaled(side=32, patterns_per_count=2, destinations_per_pattern=4)
+        monkeypatch.setattr(ExperimentConfig, "quick", staticmethod(lambda: tiny))
+        code, output = _run(["figures", "fig7", "--csv", str(tmp_path)])
+        assert code == 0
+        assert "fig7" in output
+        assert (tmp_path / "fig7.csv").exists()
+
+    def test_plot_flag(self, monkeypatch):
+        from repro.experiments import ExperimentConfig
+
+        tiny = ExperimentConfig.scaled(side=32, patterns_per_count=2, destinations_per_pattern=4)
+        monkeypatch.setattr(ExperimentConfig, "quick", staticmethod(lambda: tiny))
+        code, output = _run(["figures", "fig8", "--plot"])
+        assert code == 0
+        assert "o=" in output  # the ASCII plot legend
+
+
+class TestMemoryAndSweep:
+    def test_memory_table(self):
+        code, output = _run(["memory", "--side", "16", "--faults", "10"])
+        assert code == 0
+        assert "routing table" in output
+        assert "ESL + boundary tags" in output
+
+    def test_sweep(self):
+        code, output = _run(["sweep", "--sides", "24", "32", "--patterns", "2"])
+        assert code == 0
+        assert "size invariance" in output
+        assert "safe_source" in output

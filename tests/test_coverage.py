@@ -1,0 +1,152 @@
+"""Unit tests for the existence oracle (DP) and Wang's condition."""
+
+import numpy as np
+import pytest
+
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.coverage import (
+    covering_sequence_on_x,
+    covering_sequence_on_y,
+    minimal_path_exists,
+    minimal_path_exists_wang,
+    monotone_reachability,
+)
+from repro.faults.injection import uniform_faults
+from repro.mesh.geometry import Rect
+from repro.mesh.topology import Mesh2D
+
+
+def _grid(n, m, blocked_cells=()):
+    grid = np.zeros((n, m), dtype=bool)
+    for cell in blocked_cells:
+        grid[cell] = True
+    return grid
+
+
+class TestMonotoneDP:
+    def test_empty_mesh_always_reachable(self):
+        blocked = _grid(10, 10)
+        assert minimal_path_exists(blocked, (0, 0), (9, 9))
+        assert minimal_path_exists(blocked, (9, 9), (0, 0))
+        assert minimal_path_exists(blocked, (0, 9), (9, 0))
+
+    def test_source_equals_dest(self):
+        blocked = _grid(5, 5)
+        assert minimal_path_exists(blocked, (2, 2), (2, 2))
+        blocked[2, 2] = True
+        assert not minimal_path_exists(blocked, (2, 2), (2, 2))
+
+    def test_blocked_endpoint(self):
+        blocked = _grid(5, 5, [(0, 0)])
+        assert not minimal_path_exists(blocked, (0, 0), (4, 4))
+        blocked = _grid(5, 5, [(4, 4)])
+        assert not minimal_path_exists(blocked, (0, 0), (4, 4))
+
+    def test_full_row_barrier_blocks(self):
+        # Row y=2 fully blocked across the rectangle between the endpoints.
+        blocked = _grid(5, 5, [(x, 2) for x in range(5)])
+        assert not minimal_path_exists(blocked, (0, 0), (4, 4))
+        # But a same-row pair below the wall is fine.
+        assert minimal_path_exists(blocked, (0, 0), (4, 0))
+
+    def test_gap_in_barrier_allows(self):
+        blocked = _grid(5, 5, [(x, 2) for x in range(5) if x != 3])
+        assert minimal_path_exists(blocked, (0, 0), (4, 4))
+
+    def test_straight_line_cases(self):
+        blocked = _grid(6, 6, [(3, 0)])
+        assert not minimal_path_exists(blocked, (0, 0), (5, 0))  # East blocked
+        assert minimal_path_exists(blocked, (0, 1), (5, 1))
+
+    def test_all_quadrants(self):
+        # A block SW of the centre only blocks quadrant-III routes.
+        blocked = _grid(9, 9, [(x, y) for x in (2, 3) for y in (2, 3)])
+        center = (4, 4)
+        assert minimal_path_exists(blocked, center, (8, 8))  # NE fine
+        assert minimal_path_exists(blocked, center, (0, 8))  # NW fine
+        assert minimal_path_exists(blocked, center, (8, 0))  # SE fine
+        assert minimal_path_exists(blocked, center, (0, 0))  # around the corner
+        # Fully wall off the SW corner instead.
+        blocked = _grid(9, 9, [(x, 4 - x) for x in range(5)])
+        assert not minimal_path_exists(blocked, (4, 4), (0, 0))
+
+    def test_staircase_obstacle(self):
+        """Non-rectangular (MCC-like) obstacles are handled exactly."""
+        stairs = [(2, 1), (2, 2), (3, 2), (3, 3), (4, 3), (4, 4)]
+        blocked = _grid(8, 8, stairs)
+        assert minimal_path_exists(blocked, (0, 0), (7, 7))
+        assert not minimal_path_exists(blocked, (2, 0), (3, 6))
+
+    def test_reachability_grid_orientation(self):
+        blocked = _grid(6, 6)
+        reach = monotone_reachability(blocked, (4, 4), (1, 1))  # quadrant III
+        assert reach.shape == (4, 4)
+        assert reach[0, 0] and reach[-1, -1]
+
+    def test_reachability_respects_blocks(self):
+        blocked = _grid(6, 6, [(1, 0), (0, 1)])
+        reach = monotone_reachability(blocked, (0, 0), (5, 5))
+        assert reach[0, 0]
+        assert not reach.any(axis=None) or not reach[-1, -1]  # walled in
+
+
+class TestWangCondition:
+    def test_no_blocks(self):
+        assert minimal_path_exists_wang([], (0, 0), (5, 5))
+
+    def test_single_spanning_block(self):
+        # Block spans the full x range of the rectangle, above the source.
+        blocks = [Rect(0, 5, 2, 3)]
+        assert not minimal_path_exists_wang(blocks, (0, 0), (5, 5))
+        # Destination below the block: unaffected.
+        assert minimal_path_exists_wang(blocks, (0, 0), (5, 1))
+
+    def test_endpoint_inside_block(self):
+        blocks = [Rect(2, 4, 2, 4)]
+        assert not minimal_path_exists_wang(blocks, (3, 3), (9, 9))
+        assert not minimal_path_exists_wang(blocks, (0, 0), (3, 3))
+
+    def test_two_block_chain_on_y(self):
+        """The derived covers-on-y relation: tight diagonal chains block."""
+        blocks = [Rect(0, 2, 1, 3), Rect(3, 5, 5, 7)]
+        # x(2)min = 3 == x(1)max + 1 -> no free column between them.
+        assert covering_sequence_on_y(blocks, (4, 9)) is not None
+        assert not minimal_path_exists_wang(blocks, (0, 0), (4, 9))
+
+    def test_two_block_gap_on_y(self):
+        """One free column between the blocks lets the path slip through."""
+        blocks = [Rect(0, 2, 1, 3), Rect(4, 6, 5, 7)]
+        assert covering_sequence_on_y(blocks, (5, 9)) is None
+
+    def test_chain_on_x_symmetric(self):
+        blocks = [Rect(1, 3, 0, 2), Rect(5, 7, 3, 5)]
+        assert covering_sequence_on_x(blocks, (9, 4)) is not None
+        assert not minimal_path_exists_wang(blocks, (0, 0), (9, 4))
+
+    def test_quadrant_reflection(self):
+        """Wang's condition works for non-quadrant-I pairs via the frame."""
+        blocks = [Rect(2, 7, 4, 5)]
+        assert not minimal_path_exists_wang(blocks, (7, 7), (2, 2))
+        assert minimal_path_exists_wang(blocks, (7, 7), (2, 6))
+
+
+class TestWangAgreesWithDP:
+    """Wang's condition and the DP decide the same predicate on random
+    block sets (the paper's necessary-and-sufficient claim)."""
+
+    @pytest.mark.parametrize("num_faults", [10, 30, 60])
+    def test_random_agreement(self, rng, num_faults):
+        mesh = Mesh2D(30, 30)
+        for _ in range(8):
+            faults = uniform_faults(mesh, num_faults, rng)
+            blocks = build_faulty_blocks(mesh, faults)
+            rects = blocks.rects()
+            for _ in range(30):
+                source = (int(rng.integers(0, 30)), int(rng.integers(0, 30)))
+                dest = (int(rng.integers(0, 30)), int(rng.integers(0, 30)))
+                dp = minimal_path_exists(blocks.unusable, source, dest)
+                wang = minimal_path_exists_wang(rects, source, dest)
+                assert dp == wang, (
+                    f"disagreement for {source} -> {dest} with blocks "
+                    f"{[str(r) for r in rects]}: dp={dp} wang={wang}"
+                )

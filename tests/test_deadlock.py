@@ -1,0 +1,131 @@
+"""Channel-dependency-graph analysis: the classical results on real routers."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import is_safe
+from repro.core.routing import WuRouter
+from repro.core.safety import compute_safety_levels
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import uniform_faults
+from repro.mesh.topology import Mesh2D
+from repro.routing.deadlock import (
+    dependencies_from_choices,
+    dependencies_from_paths,
+    find_cycle,
+    fully_adaptive_minimal_choices,
+    is_deadlock_free,
+    xy_choices,
+)
+from repro.routing.path import Path
+
+
+def _all_pairs(mesh):
+    nodes = list(mesh.nodes())
+    return [(s, d) for s in nodes for d in nodes if s != d]
+
+
+class TestCycleFinder:
+    def test_empty_graph_acyclic(self):
+        assert is_deadlock_free(set())
+
+    def test_simple_cycle_detected(self):
+        a, b, c = ((0, 0), (1, 0)), ((1, 0), (1, 1)), ((1, 1), (0, 0))
+        edges = {(a, b), (b, c), (c, a)}
+        cycle = find_cycle(edges)
+        assert cycle is not None
+        assert set(cycle) <= {a, b, c}
+        assert len(cycle) == 3
+
+    def test_dag_acyclic(self):
+        a, b, c = ((0, 0), (1, 0)), ((1, 0), (1, 1)), ((1, 1), (2, 1))
+        assert is_deadlock_free({(a, b), (b, c), (a, c)})
+
+
+class TestClassicalResults:
+    def test_xy_routing_is_deadlock_free(self):
+        mesh = Mesh2D(5, 5)
+        edges = dependencies_from_choices(mesh, xy_choices(mesh), _all_pairs(mesh))
+        assert edges  # sanity: dependencies exist
+        assert is_deadlock_free(edges)
+
+    def test_fully_adaptive_minimal_has_turn_cycles(self):
+        mesh = Mesh2D(4, 4)
+        edges = dependencies_from_choices(
+            mesh, fully_adaptive_minimal_choices(mesh), _all_pairs(mesh)
+        )
+        cycle = find_cycle(edges)
+        assert cycle is not None
+        assert len(cycle) >= 4  # the smallest turn cycle rounds a unit square
+
+    def test_single_quadrant_monotone_is_deadlock_free(self):
+        """Traffic restricted to one destination quadrant only turns between
+        +x and +y: no cycle is possible."""
+        mesh = Mesh2D(5, 5)
+        pairs = [
+            (s, d)
+            for s, d in _all_pairs(mesh)
+            if d[0] >= s[0] and d[1] >= s[1]  # quadrant-I traffic only
+        ]
+        edges = dependencies_from_choices(
+            mesh, fully_adaptive_minimal_choices(mesh), pairs
+        )
+        assert edges
+        assert is_deadlock_free(edges)
+
+
+class TestWuProtocolDependencies:
+    def test_quadrant_one_wu_routes_are_deadlock_free(self, rng):
+        """All quadrant-I Wu-protocol routes on a faulty mesh stay within
+        the +x/+y turn set, so their CDG is acyclic."""
+        mesh = Mesh2D(14, 14)
+        faults = uniform_faults(mesh, 14, rng)
+        blocks = build_faulty_blocks(mesh, faults)
+        levels = compute_safety_levels(mesh, blocks.unusable)
+        router = WuRouter(mesh, blocks)
+        paths = []
+        for source, dest in itertools.islice(
+            (
+                (s, d)
+                for s in mesh.nodes()
+                for d in mesh.nodes()
+                if d[0] >= s[0] and d[1] >= s[1] and s != d
+            ),
+            0,
+            None,
+            7,  # subsample for speed
+        ):
+            if blocks.is_unusable(source) or blocks.is_unusable(dest):
+                continue
+            if not is_safe(levels, source, dest):
+                continue
+            paths.append(router.route(source, dest))
+        assert paths
+        edges = dependencies_from_paths(paths)
+        assert is_deadlock_free(edges)
+
+    def test_mixed_quadrant_traffic_can_cycle(self, rng):
+        """Opposite-quadrant minimal traffic reintroduces all four turns;
+        without virtual channels the combined CDG has cycles -- the reason
+        the wormhole literature the paper cites needs them."""
+        mesh = Mesh2D(6, 6)
+        blocks = build_faulty_blocks(mesh, [])
+        router = WuRouter(mesh, blocks)
+        paths = []
+        for s, d in _all_pairs(mesh):
+            paths.append(router.route(s, d))
+        edges = dependencies_from_paths(paths)
+        assert find_cycle(edges) is not None
+
+
+class TestDependenciesFromPaths:
+    def test_single_path_chain(self):
+        path = Path.of([(0, 0), (1, 0), (1, 1)])
+        edges = dependencies_from_paths([path])
+        assert edges == {((((0, 0)), (1, 0)), ((1, 0), (1, 1)))}
+
+    def test_zero_and_one_hop_paths_contribute_nothing(self):
+        assert dependencies_from_paths([Path.of([(0, 0)])]) == set()
+        assert dependencies_from_paths([Path.of([(0, 0), (1, 0)])]) == set()

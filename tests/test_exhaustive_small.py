@@ -1,0 +1,140 @@
+"""Exhaustive verification on small meshes.
+
+Randomized tests sample; these enumerate.  On meshes small enough to check
+*every* source/destination pair against the oracle, the central guarantees
+hold universally, not just on the sampled slice:
+
+- Definition 3 and every extension are sound for all pairs;
+- Wu's protocol delivers all safe pairs minimally under both tie-breakers;
+- Wang's condition equals the DP on all pairs;
+- the MCC equivalence holds for all pairs of both quadrant classes.
+
+Fault sets cover the structurally interesting shapes: single block, two
+blocks forming a corridor, a wall with a gap, diagonal merges, and blocks
+hugging mesh edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import DecisionKind, is_safe
+from repro.core.extensions import extension1_decision, extension2_decision
+from repro.core.routing import WuRouter, route_with_decision
+from repro.core.safety import compute_safety_levels
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.coverage import minimal_path_exists, minimal_path_exists_wang
+from repro.faults.mcc import MCCType, build_mccs
+from repro.mesh.frames import Frame
+from repro.mesh.topology import Mesh2D
+from repro.routing.router import x_first_tie_breaker
+
+SIDE = 9
+MESH = Mesh2D(SIDE, SIDE)
+
+FAULT_SETS = {
+    "empty": [],
+    "single": [(4, 4)],
+    "block_2x2": [(3, 3), (4, 4)],
+    "two_blocks_corridor": [(2, 4), (6, 4)],
+    "wall_with_gap": [(1, 4), (2, 4), (3, 4), (5, 4), (6, 4), (7, 4)],
+    "diagonal_merge": [(2, 2), (3, 3), (4, 4)],
+    "edge_hugging": [(0, 4), (4, 0), (8, 4), (4, 8)],
+    "corner_block": [(0, 0), (1, 1)],
+    "dense_center": [(3, 4), (4, 3), (4, 5), (5, 4)],
+}
+
+
+def _all_pairs(blocks):
+    for source in MESH.nodes():
+        if blocks.is_unusable(source):
+            continue
+        for dest in MESH.nodes():
+            if dest == source or blocks.is_unusable(dest):
+                continue
+            yield source, dest
+
+
+@pytest.mark.parametrize("name", sorted(FAULT_SETS))
+class TestExhaustive:
+    def test_wang_equals_dp_everywhere(self, name):
+        blocks = build_faulty_blocks(MESH, FAULT_SETS[name])
+        rects = blocks.rects()
+        for source, dest in _all_pairs(blocks):
+            assert minimal_path_exists(blocks.unusable, source, dest) == (
+                minimal_path_exists_wang(rects, source, dest)
+            ), (name, source, dest)
+
+    def test_definition3_sound_everywhere(self, name):
+        blocks = build_faulty_blocks(MESH, FAULT_SETS[name])
+        levels = compute_safety_levels(MESH, blocks.unusable)
+        for source, dest in _all_pairs(blocks):
+            if is_safe(levels, source, dest):
+                assert minimal_path_exists(blocks.unusable, source, dest), (
+                    name,
+                    source,
+                    dest,
+                )
+
+    def test_wu_protocol_delivers_every_safe_pair(self, name):
+        blocks = build_faulty_blocks(MESH, FAULT_SETS[name])
+        levels = compute_safety_levels(MESH, blocks.unusable)
+        routers = [
+            WuRouter(MESH, blocks),
+            WuRouter(MESH, blocks, tie_breaker=x_first_tie_breaker),
+        ]
+        for source, dest in _all_pairs(blocks):
+            if not is_safe(levels, source, dest):
+                continue
+            for router in routers:
+                path = router.route(source, dest)
+                assert path.is_minimal, (name, source, dest)
+                assert path.avoids(blocks.unusable), (name, source, dest)
+
+    def test_extension1_sound_and_routable_everywhere(self, name):
+        blocks = build_faulty_blocks(MESH, FAULT_SETS[name])
+        levels = compute_safety_levels(MESH, blocks.unusable)
+        router = WuRouter(MESH, blocks)
+        for source, dest in _all_pairs(blocks):
+            decision = extension1_decision(MESH, levels, blocks.unusable, source, dest)
+            if decision.kind is DecisionKind.UNSAFE:
+                continue
+            path = route_with_decision(router, decision, blocked=blocks.unusable)
+            expected = MESH.distance(source, dest) + decision.expected_length_overhead
+            assert path.hops == expected, (name, source, dest)
+
+    def test_extension2_sound_everywhere(self, name):
+        blocks = build_faulty_blocks(MESH, FAULT_SETS[name])
+        levels = compute_safety_levels(MESH, blocks.unusable)
+        for source, dest in _all_pairs(blocks):
+            decision = extension2_decision(MESH, levels, source, dest, 1)
+            if decision.kind is not DecisionKind.UNSAFE:
+                assert minimal_path_exists(blocks.unusable, source, dest), (
+                    name,
+                    source,
+                    dest,
+                )
+
+    def test_mcc_equivalence_everywhere(self, name):
+        faults = FAULT_SETS[name]
+        faulty = np.zeros((SIDE, SIDE), dtype=bool)
+        for coord in faults:
+            faulty[coord] = True
+        for mcc_type in MCCType:
+            mccs = build_mccs(MESH, faults, mcc_type)
+            for source in MESH.nodes():
+                if mccs.is_blocked(source):
+                    continue
+                for dest in MESH.nodes():
+                    if dest == source or mccs.is_blocked(dest):
+                        continue
+                    frame = Frame.for_pair(source, dest)
+                    matches_type = (
+                        mcc_type is MCCType.TYPE_ONE
+                        if frame.flip_x == frame.flip_y
+                        else mcc_type is MCCType.TYPE_TWO
+                    )
+                    if not matches_type:
+                        continue
+                    assert minimal_path_exists(faulty, source, dest) == (
+                        minimal_path_exists(mccs.blocked, source, dest)
+                    ), (name, mcc_type, source, dest)

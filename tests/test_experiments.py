@@ -1,0 +1,135 @@
+"""Unit and smoke tests for the experiment harness (Figures 7-12)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig7_affected_rows,
+    fig8_disabled_nodes,
+    fig9_extension1,
+    fig10_extension2,
+    fig11_extension3,
+    fig12_strategies,
+)
+from repro.experiments.runner import BLOCK_MODEL, ConditionExperiment, MetricSpec
+from repro.mesh.geometry import Rect
+
+TINY = ExperimentConfig.scaled(side=32, patterns_per_count=2, destinations_per_pattern=5)
+
+
+class TestConfig:
+    def test_paper_scale(self):
+        config = ExperimentConfig.paper()
+        assert config.mesh_side == 200
+        assert config.source == (100, 100)
+        assert max(config.fault_counts) == 200
+        assert config.destination_region == Rect(100, 199, 100, 199)
+
+    def test_scaled_preserves_density(self):
+        config = ExperimentConfig.scaled(side=100, patterns_per_count=2, destinations_per_pattern=2)
+        # 200 faults at 200^2 nodes -> 50 at 100^2.
+        assert max(config.fault_counts) == 50
+
+    def test_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert ExperimentConfig.from_environment().mesh_side == 60
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert ExperimentConfig.from_environment().mesh_side == 200
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(mesh_side=4)
+        with pytest.raises(ValueError):
+            ExperimentConfig(mesh_side=20, fault_counts=(200,))
+        with pytest.raises(ValueError):
+            ExperimentConfig(fault_counts=())
+
+    def test_describe_mentions_scale(self):
+        assert "200x200" in ExperimentConfig.paper().describe()
+
+
+class TestRunner:
+    def test_duplicate_metric_names_rejected(self):
+        metric = MetricSpec("m", lambda ctx, d: True)
+        with pytest.raises(ValueError):
+            ConditionExperiment(TINY, [metric, MetricSpec("m", lambda ctx, d: False)])
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionExperiment(TINY, [])
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSpec("m", lambda ctx, d: True, model="torus")
+
+    def test_constant_metrics(self):
+        always = MetricSpec("always", lambda ctx, d: True)
+        never = MetricSpec("never", lambda ctx, d: False, model=BLOCK_MODEL)
+        series = ConditionExperiment(TINY, [always, never]).run("figX", "constant")
+        assert all(v == 1.0 for v in series.column("always"))
+        assert all(v == 0.0 for v in series.column("never"))
+        assert len(series.xs) == len(TINY.fault_counts)
+
+    def test_deterministic_given_seed(self):
+        metric = MetricSpec("safe", lambda ctx, d: bool(ctx.blocked.sum() % 2))
+        a = ConditionExperiment(TINY, [metric]).run("figX", "t")
+        b = ConditionExperiment(TINY, [metric]).run("figX", "t")
+        assert a.column("safe") == b.column("safe")
+
+    def test_progress_callback(self):
+        seen = []
+        metric = MetricSpec("m", lambda ctx, d: True)
+        ConditionExperiment(TINY, [metric]).run("figX", "t", progress=seen.append)
+        assert len(seen) == len(TINY.fault_counts)
+
+    def test_destinations_in_region_and_free(self):
+        observed = []
+
+        def recorder(ctx, dest):
+            observed.append((ctx, dest))
+            return True
+
+        ConditionExperiment(TINY, [MetricSpec("rec", recorder)]).run("figX", "t")
+        region = TINY.destination_region
+        for ctx, dest in observed:
+            assert region.contains(dest)
+            assert not ctx.blocked[dest]
+            assert dest != ctx.source
+
+
+class TestFigureSmoke:
+    """Each figure runs at tiny scale and yields well-formed series."""
+
+    def test_fig7(self):
+        series = fig7_affected_rows(TINY)
+        assert set(series.series) == {"analytical", "experimental"}
+        assert len(series.xs) == len(TINY.fault_counts)
+
+    def test_fig8(self):
+        series = fig8_disabled_nodes(TINY)
+        assert set(series.series) == {"wu_model", "mcc"}
+        for w, m in zip(series.column("wu_model"), series.column("mcc")):
+            assert m <= w + 1e-9
+
+    def test_fig9(self):
+        series = fig9_extension1(TINY)
+        assert {"safe_source", "ext1_min", "existence", "safe_sourcea"} <= set(series.series)
+        for s, e in zip(series.column("safe_source"), series.column("ext1_min")):
+            assert e >= s
+
+    def test_fig10(self):
+        series = fig10_extension2(TINY)
+        assert {"ext2_1", "ext2_5", "ext2_10", "ext2_max"} <= set(series.series)
+        for fine, coarse in zip(series.column("ext2_1"), series.column("ext2_max")):
+            assert fine >= coarse
+
+    def test_fig11(self):
+        series = fig11_extension3(TINY)
+        for l2, l3 in zip(series.column("ext3_level2"), series.column("ext3_level3")):
+            assert l3 >= l2
+
+    def test_fig12(self):
+        series = fig12_strategies(TINY)
+        assert {"strategy1", "strategy4", "strategy4a"} <= set(series.series)
+        for s1, s4 in zip(series.column("strategy1"), series.column("strategy4")):
+            assert s4 >= s1 - 1e-9

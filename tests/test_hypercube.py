@@ -1,0 +1,161 @@
+"""Tests for the hypercube safety-level foundation (paper refs [16], [18])."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.hypercube import (
+    Hypercube,
+    compute_hypercube_safety,
+    hypercube_minimal_path_exists,
+    safety_guided_route,
+)
+from repro.routing.router import RoutingError
+
+
+class TestTopology:
+    def test_basic(self):
+        cube = Hypercube(3)
+        assert cube.size == 8
+        assert sorted(cube.neighbors(0b000)) == [0b001, 0b010, 0b100]
+        assert cube.distance(0b000, 0b111) == 3
+        assert cube.distance(0b101, 0b101) == 0
+
+    def test_preferred_neighbors_flip_differing_bits(self):
+        cube = Hypercube(4)
+        preferred = cube.preferred_neighbors(0b0000, 0b1010)
+        assert sorted(preferred) == [0b0010, 0b1000]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+        with pytest.raises(ValueError):
+            Hypercube(3).require_in_bounds(8)
+
+
+class TestSafetyLevels:
+    def test_fault_free_cube_all_safe(self):
+        cube = Hypercube(4)
+        levels = compute_hypercube_safety(cube, [])
+        assert all(level == 4 for level in levels)
+
+    def test_faulty_nodes_level_zero(self):
+        cube = Hypercube(3)
+        levels = compute_hypercube_safety(cube, [0b111])
+        assert levels[0b111] == 0
+        # Distance-1 neighbours of a single fault keep full level in Q3:
+        # every other destination remains minimally reachable.
+        assert levels[0b011] == 3
+
+    def test_two_faults_pinch_a_node(self):
+        """Node 001 with faulty neighbours 011 and 101 drops to level 1:
+        destination 111 at distance 2 has both minimal relays faulty."""
+        cube = Hypercube(3)
+        levels = compute_hypercube_safety(cube, [0b011, 0b101])
+        assert levels[0b001] == 1
+        assert not hypercube_minimal_path_exists(cube, [0b011, 0b101], 0b001, 0b111)
+
+    def test_levels_monotone_in_faults(self):
+        cube = Hypercube(4)
+        rng = np.random.default_rng(5)
+        faults = list(rng.choice(16, size=4, replace=False))
+        fewer = compute_hypercube_safety(cube, faults[:2])
+        more = compute_hypercube_safety(cube, faults)
+        for node in cube.nodes():
+            assert more[node] <= fewer[node]
+
+
+class TestOracle:
+    def test_matches_bruteforce_small(self):
+        """DP existence equals brute-force enumeration of bit orders."""
+        cube = Hypercube(3)
+        rng = np.random.default_rng(11)
+        for _ in range(40):
+            fault_count = int(rng.integers(0, 4))
+            faults = set(int(x) for x in rng.choice(8, size=fault_count, replace=False))
+            for source in cube.nodes():
+                for dest in cube.nodes():
+                    expected = _bruteforce_exists(cube, faults, source, dest)
+                    assert (
+                        hypercube_minimal_path_exists(cube, faults, source, dest)
+                        == expected
+                    ), (faults, source, dest)
+
+    def test_source_equals_dest(self):
+        cube = Hypercube(3)
+        assert hypercube_minimal_path_exists(cube, [], 5, 5)
+        assert not hypercube_minimal_path_exists(cube, [5], 5, 5)
+
+
+class TestWuTheorem:
+    """The hypercube Theorem 1: S(u) >= H(u, d) guarantees minimal routing."""
+
+    @pytest.mark.parametrize("dimensions", [3, 4, 5])
+    def test_safety_level_soundness(self, dimensions):
+        cube = Hypercube(dimensions)
+        rng = np.random.default_rng(dimensions)
+        for _ in range(20):
+            fault_count = int(rng.integers(0, cube.size // 4))
+            faults = set(
+                int(x) for x in rng.choice(cube.size, size=fault_count, replace=False)
+            )
+            levels = compute_hypercube_safety(cube, faults)
+            for source in cube.nodes():
+                if source in faults:
+                    continue
+                for dest in cube.nodes():
+                    if dest in faults or dest == source:
+                        continue
+                    if levels[source] >= cube.distance(source, dest):
+                        assert hypercube_minimal_path_exists(
+                            cube, faults, source, dest
+                        ), (faults, source, dest, levels[source])
+
+    def test_safety_guided_routing_delivers(self):
+        cube = Hypercube(5)
+        rng = np.random.default_rng(55)
+        routed = 0
+        for _ in range(10):
+            faults = set(int(x) for x in rng.choice(32, size=5, replace=False))
+            levels = compute_hypercube_safety(cube, faults)
+            for _ in range(60):
+                source = int(rng.integers(0, 32))
+                dest = int(rng.integers(0, 32))
+                if source in faults or dest in faults or source == dest:
+                    continue
+                distance = cube.distance(source, dest)
+                if levels[source] < distance:
+                    continue
+                path = safety_guided_route(cube, levels, faults, source, dest)
+                assert len(path) - 1 == distance
+                assert not set(path) & faults
+                routed += 1
+        assert routed > 50
+
+    def test_unsafe_source_rejected(self):
+        cube = Hypercube(3)
+        faults = [0b011, 0b101]
+        levels = compute_hypercube_safety(cube, faults)
+        with pytest.raises(RoutingError):
+            safety_guided_route(cube, levels, faults, 0b001, 0b111)
+
+
+def _bruteforce_exists(cube, faults, source, dest):
+    if source in faults or dest in faults:
+        return False
+    difference = source ^ dest
+    bits = [b for b in range(cube.dimensions) if difference >> b & 1]
+    if not bits:
+        return True
+    for order in itertools.permutations(bits):
+        node = source
+        ok = True
+        for bit in order:
+            node ^= 1 << bit
+            if node in faults:
+                ok = False
+                break
+        if ok:
+            return True
+    return False

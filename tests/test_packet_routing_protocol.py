@@ -1,0 +1,112 @@
+"""End-to-end pipeline on one simulated network: detection -> labelling ->
+information formation -> packet delivery, all as message passing."""
+
+import numpy as np
+
+from repro.core.conditions import is_safe
+from repro.core.routing import WuRouter
+from repro.core.safety import compute_safety_levels
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import uniform_faults
+from repro.mesh.geometry import manhattan_distance
+from repro.mesh.topology import Mesh2D
+from repro.routing.packet import PacketStatus
+from repro.routing.router import GreedyAdaptiveRouter
+from repro.simulator.protocols.packet_routing import run_distributed_routing
+
+
+def _unusable_set(blocks):
+    return {
+        (int(x), int(y)) for x, y in zip(*np.nonzero(blocks.unusable))
+    }
+
+
+class TestDistributedRouting:
+    def test_single_packet_latency_equals_distance(self):
+        mesh = Mesh2D(10, 10)
+        blocks = build_faulty_blocks(mesh, [])
+        run = run_distributed_routing(
+            mesh,
+            GreedyAdaptiveRouter(mesh, blocks.unusable),
+            set(),
+            [((0, 0), (4, 3))],
+        )
+        assert run.delivered == 1
+        packet = run.packets[0]
+        assert packet.hops == 7
+        assert run.delivery_times[packet.packet_id] == 7.0  # one latency per hop
+        assert run.stats.messages == 7
+
+    def test_latency_scales(self):
+        mesh = Mesh2D(8, 8)
+        blocks = build_faulty_blocks(mesh, [])
+        run = run_distributed_routing(
+            mesh,
+            GreedyAdaptiveRouter(mesh, blocks.unusable),
+            set(),
+            [((0, 0), (3, 0))],
+            latency=2.5,
+        )
+        assert run.delivery_times[run.packets[0].packet_id] == 7.5
+
+    def test_wu_protocol_delivers_safe_traffic_minimally(self, rng):
+        """The full pipeline claim: for every safe pair the distributed
+        packets arrive in exactly D hops and D time units."""
+        mesh = Mesh2D(24, 24)
+        faults = uniform_faults(mesh, 40, rng)
+        blocks = build_faulty_blocks(mesh, faults)
+        levels = compute_safety_levels(mesh, blocks.unusable)
+        traffic = []
+        while len(traffic) < 40:
+            s = (int(rng.integers(0, 24)), int(rng.integers(0, 24)))
+            d = (int(rng.integers(0, 24)), int(rng.integers(0, 24)))
+            if s == d or blocks.is_unusable(s) or blocks.is_unusable(d):
+                continue
+            if is_safe(levels, s, d):
+                traffic.append((s, d))
+        run = run_distributed_routing(
+            mesh, WuRouter(mesh, blocks), _unusable_set(blocks), traffic
+        )
+        assert run.delivered == len(traffic)
+        for packet in run.packets:
+            assert packet.status is PacketStatus.DELIVERED
+            assert packet.hops == manhattan_distance(packet.source, packet.dest)
+            assert run.delivery_times[packet.packet_id] == float(packet.hops)
+        # Message count is exactly the sum of hop counts.
+        assert run.stats.messages == sum(p.hops for p in run.packets)
+
+    def test_greedy_drops_are_recorded(self):
+        mesh = Mesh2D(12, 12)
+        blocks = build_faulty_blocks(mesh, [(4, 4), (5, 5)])
+        from repro.routing.router import x_first_tie_breaker
+
+        router = GreedyAdaptiveRouter(
+            mesh, blocks.unusable, tie_breaker=x_first_tie_breaker
+        )
+        run = run_distributed_routing(
+            mesh, router, _unusable_set(blocks), [((5, 0), (5, 8))]
+        )
+        assert run.delivered == 0
+        assert run.packets[0].status is PacketStatus.DROPPED
+        assert "stuck" in (run.packets[0].drop_reason or "")
+
+    def test_unusable_source_dropped_cleanly(self):
+        mesh = Mesh2D(10, 10)
+        blocks = build_faulty_blocks(mesh, [(2, 2)])
+        run = run_distributed_routing(
+            mesh,
+            GreedyAdaptiveRouter(mesh, blocks.unusable),
+            _unusable_set(blocks),
+            [((2, 2), (8, 8))],
+        )
+        assert run.dropped == 1
+        assert "unusable" in (run.packets[0].drop_reason or "")
+
+    def test_source_equals_dest(self):
+        mesh = Mesh2D(6, 6)
+        blocks = build_faulty_blocks(mesh, [])
+        run = run_distributed_routing(
+            mesh, GreedyAdaptiveRouter(mesh, blocks.unusable), set(), [((3, 3), (3, 3))]
+        )
+        assert run.delivered == 1
+        assert run.delivery_times[run.packets[0].packet_id] == 0.0

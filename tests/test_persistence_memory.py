@@ -1,0 +1,135 @@
+"""Tests for JSON persistence and the memory-model accounting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.memory_model import measure_memory
+from repro.experiments.persistence import (
+    load_scenario,
+    load_series,
+    save_scenario,
+    save_series,
+    scenario_from_dict,
+    series_from_dict,
+)
+from repro.experiments.report import FigureSeries
+from repro.analysis.statistics import Estimate
+from repro.faults.injection import generate_scenario
+from repro.mesh.topology import Mesh2D
+
+
+class TestScenarioPersistence:
+    def test_round_trip(self, tmp_path, rng):
+        scenario = generate_scenario(Mesh2D(20, 20), 15, rng)
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario, path)
+        loaded = load_scenario(path)
+        assert loaded.mesh == scenario.mesh
+        assert loaded.faults == scenario.faults
+        assert np.array_equal(loaded.blocks.unusable, scenario.blocks.unusable)
+
+    def test_file_is_small_inputs_only(self, tmp_path, rng):
+        scenario = generate_scenario(Mesh2D(100, 100), 50, rng)
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario, path)
+        assert path.stat().st_size < 4096  # faults only, no derived grids
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"kind": "figure-series", "format": 1})
+
+    def test_future_format_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict(
+                {"kind": "fault-scenario", "format": 999, "mesh": [4, 4], "faults": []}
+            )
+
+
+class TestSeriesPersistence:
+    def _series(self):
+        series = FigureSeries(figure_id="figT", title="t", x_label="faults")
+        series.xs = [10.0, 20.0]
+        series.series = {
+            "a": [Estimate(0.9, 0.01, 50), Estimate(0.8, 0.02, 50)],
+        }
+        series.notes = ["note one"]
+        return series
+
+    def test_round_trip(self, tmp_path):
+        series = self._series()
+        path = tmp_path / "series.json"
+        save_series(series, path)
+        loaded = load_series(path)
+        assert loaded.figure_id == "figT"
+        assert loaded.xs == series.xs
+        assert loaded.notes == ["note one"]
+        assert loaded.series["a"][1].value == pytest.approx(0.8)
+        assert loaded.series["a"][1].samples == 50
+        assert loaded.to_csv() == series.to_csv()
+
+    def test_ragged_data_rejected_on_load(self):
+        data = {
+            "kind": "figure-series",
+            "format": 1,
+            "figure_id": "x",
+            "title": "t",
+            "x_label": "k",
+            "xs": [1.0, 2.0],
+            "series": {"a": [{"value": 1, "half_width": 0, "samples": 1}]},
+        }
+        with pytest.raises(ValueError):
+            series_from_dict(data)
+
+    def test_json_is_valid(self, tmp_path):
+        path = tmp_path / "series.json"
+        save_series(self._series(), path)
+        json.loads(path.read_text())  # does not raise
+
+
+class TestMemoryModel:
+    def test_orders_of_magnitude(self, rng):
+        scenario = generate_scenario(Mesh2D(60, 60), 18, rng)
+        report = measure_memory(scenario.blocks)
+        # Routing table holds one entry per other node.
+        assert report.routing_table_per_node == 60 * 60 - 1
+        # The global map is 4 words per block.
+        assert report.global_map_per_node == 4 * len(scenario.blocks)
+        # The coded model is a small constant plus local boundary tags.
+        assert 4 <= report.esl_per_node < 40
+        assert report.esl_per_node < report.global_map_per_node or len(scenario.blocks) < 3
+        assert report.esl_per_node < report.routing_table_per_node
+
+    def test_no_faults_is_bare_esl(self):
+        from repro.faults.blocks import build_faulty_blocks
+
+        mesh = Mesh2D(30, 30)
+        scenario_blocks = build_faulty_blocks(mesh, [])
+        report = measure_memory(scenario_blocks)
+        assert report.esl_per_node == 4.0
+        assert report.esl_max_node == 4
+        assert report.global_map_per_node == 0
+
+    def test_table_renders(self, rng):
+        scenario = generate_scenario(Mesh2D(40, 40), 12, rng)
+        table = measure_memory(scenario.blocks).to_table()
+        assert "routing table" in table
+        assert "Extension 3" in table
+
+
+class TestFigureRoundTrip:
+    def test_real_figure_survives_round_trip(self, tmp_path):
+        """A real (tiny) figure run saves and reloads bit-identically."""
+        from repro.experiments import ExperimentConfig, fig7_affected_rows
+        from repro.experiments.persistence import load_series, save_series
+
+        config = ExperimentConfig.scaled(
+            side=32, patterns_per_count=2, destinations_per_pattern=3
+        )
+        series = fig7_affected_rows(config)
+        path = tmp_path / "fig7.json"
+        save_series(series, path)
+        loaded = load_series(path)
+        assert loaded.to_table() == series.to_table()
+        assert loaded.to_csv() == series.to_csv()

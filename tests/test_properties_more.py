@@ -1,0 +1,159 @@
+"""Second property-test battery: cross-module invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.boundaries import BoundaryMap
+from repro.core.conditions import DecisionKind, is_safe
+from repro.core.extensions import (
+    extension1_decision,
+    extension2_decision,
+    extension3_decision,
+)
+from repro.core.routing import WuRouter
+from repro.core.safety import compute_safety_levels
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.coverage import minimal_path_exists
+from repro.hypercube import Hypercube, compute_hypercube_safety
+from repro.mesh.geometry import Rect, manhattan_distance
+from repro.mesh.topology import Mesh2D
+from repro.routing.detour import DetourRouter
+from repro.routing.router import RoutingError
+
+SIDE = 14
+MESH = Mesh2D(SIDE, SIDE)
+
+coords = st.tuples(st.integers(0, SIDE - 1), st.integers(0, SIDE - 1))
+fault_sets = st.lists(coords, min_size=0, max_size=18, unique=True)
+
+COMMON = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(faults=fault_sets, source=coords, dest=coords)
+def test_decision_hierarchy(faults, source, dest):
+    """Definition 3 implies Extension 1 implies soundness; Extension 2 with
+    full sampling and Extension 3 with a usable pivot also subsume it."""
+    blocks = build_faulty_blocks(MESH, faults)
+    if blocks.is_unusable(source) or blocks.is_unusable(dest):
+        return
+    levels = compute_safety_levels(MESH, blocks.unusable)
+    safe = is_safe(levels, source, dest)
+    ext1 = extension1_decision(MESH, levels, blocks.unusable, source, dest)
+    ext2 = extension2_decision(MESH, levels, source, dest, 1)
+    if safe:
+        assert ext1.kind is DecisionKind.SOURCE_SAFE
+        assert ext2.kind is DecisionKind.SOURCE_SAFE
+    for decision in (ext1, ext2):
+        if decision.ensures_minimal:
+            assert minimal_path_exists(blocks.unusable, source, dest)
+
+
+@COMMON
+@given(faults=fault_sets, source=coords, dest=coords)
+def test_wu_route_stays_in_rectangle(faults, source, dest):
+    blocks = build_faulty_blocks(MESH, faults)
+    if blocks.is_unusable(source) or blocks.is_unusable(dest):
+        return
+    levels = compute_safety_levels(MESH, blocks.unusable)
+    if not is_safe(levels, source, dest):
+        return
+    path = WuRouter(MESH, blocks).route(source, dest)
+    xlo, xhi = sorted((source[0], dest[0]))
+    ylo, yhi = sorted((source[1], dest[1]))
+    for x, y in path:
+        assert xlo <= x <= xhi and ylo <= y <= yhi
+
+
+@COMMON
+@given(faults=fault_sets)
+def test_boundary_annotations_only_on_free_nodes(faults):
+    blocks = build_faulty_blocks(MESH, faults)
+    canonical = BoundaryMap.for_blocks(blocks).canonical(False, False)
+    for coord, tags in canonical.annotations.items():
+        assert not blocks.unusable[coord]
+        assert tags  # no empty tag lists stored
+        for tag in tags:
+            assert 0 <= tag.block_index < len(blocks.rects())
+
+
+@COMMON
+@given(faults=fault_sets)
+def test_boundary_toward_points_to_annotated_or_free(faults):
+    """Following a straight-section `toward` pointer lands on another node
+    of the same block's polyline (or the exit corner)."""
+    blocks = build_faulty_blocks(MESH, faults)
+    canonical = BoundaryMap.for_blocks(blocks).canonical(False, False)
+    for coord, tags in canonical.annotations.items():
+        for tag in tags:
+            if tag.toward is None:
+                continue
+            nxt = tag.toward.step(coord)
+            if not MESH.in_bounds(nxt):
+                continue  # clipped exit at the mesh edge
+            next_tags = {
+                (t.block_index, t.line) for t in canonical.tags_at(nxt)
+            }
+            assert (tag.block_index, tag.line) in next_tags
+
+
+@COMMON
+@given(faults=fault_sets, source=coords, dest=coords)
+def test_detour_parity_and_delivery(faults, source, dest):
+    blocks = build_faulty_blocks(MESH, faults)
+    if blocks.is_unusable(source) or blocks.is_unusable(dest):
+        return
+    router = DetourRouter(MESH, blocks)
+    try:
+        path = router.route(source, dest)
+    except RoutingError:
+        return  # edge-touching block: documented limitation
+    assert path.dest == dest
+    assert path.avoids(blocks.unusable)
+    assert (path.hops - manhattan_distance(source, dest)) % 2 == 0
+
+
+@COMMON
+@given(
+    dimensions=st.integers(2, 5),
+    data=st.data(),
+)
+def test_hypercube_levels_in_range(dimensions, data):
+    cube = Hypercube(dimensions)
+    fault_count = data.draw(st.integers(0, cube.size // 3))
+    faults = data.draw(
+        st.lists(
+            st.integers(0, cube.size - 1),
+            min_size=fault_count,
+            max_size=fault_count,
+            unique=True,
+        )
+    )
+    levels = compute_hypercube_safety(cube, faults)
+    for node in cube.nodes():
+        if node in set(faults):
+            assert levels[node] == 0
+        else:
+            assert 1 <= levels[node] <= dimensions
+
+
+@COMMON
+@given(faults=fault_sets, source=coords, dest=coords)
+def test_extension3_via_is_actually_usable(faults, source, dest):
+    """When Extension 3 chains through a pivot, both legs hold."""
+    blocks = build_faulty_blocks(MESH, faults)
+    if blocks.is_unusable(source) or blocks.is_unusable(dest):
+        return
+    levels = compute_safety_levels(MESH, blocks.unusable)
+    pivots = [(x, y) for x in (3, 7, 10) for y in (3, 7, 10)]
+    decision = extension3_decision(MESH, levels, blocks.unusable, source, dest, pivots)
+    if decision.kind is DecisionKind.PIVOT_SAFE:
+        pivot = decision.via
+        assert pivot is not None and not blocks.unusable[pivot]
+        assert is_safe(levels, source, pivot)
+        assert is_safe(levels, pivot, dest)

@@ -1,0 +1,118 @@
+"""Unit tests for extended safety levels."""
+
+import numpy as np
+import pytest
+
+from repro.core.safety import UNBOUNDED, compute_safety_levels
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import uniform_faults
+from repro.mesh.geometry import Direction
+from repro.mesh.topology import Mesh2D
+
+
+def _levels(mesh, faults):
+    blocks = build_faulty_blocks(mesh, faults)
+    return compute_safety_levels(mesh, blocks.unusable), blocks
+
+
+class TestNoFaults:
+    def test_default_is_unbounded(self):
+        mesh = Mesh2D(8, 8)
+        levels, _ = _levels(mesh, [])
+        for node in [(0, 0), (3, 4), (7, 7)]:
+            assert levels.esl(node) == (UNBOUNDED,) * 4
+
+
+class TestSingleBlock:
+    def test_distances_around_block(self):
+        """Block [3:4, 3:4]; probe the four directions from (0, 3)."""
+        mesh = Mesh2D(10, 10)
+        levels, _ = _levels(mesh, [(3, 3), (4, 4)])  # diagonal pair fills square
+        east, south, west, north = levels.esl((0, 3))
+        assert east == 2  # (1,3), (2,3) clear, (3,3) blocked
+        assert south == UNBOUNDED
+        assert west == UNBOUNDED
+        assert north == UNBOUNDED
+
+    def test_node_just_beside_block(self):
+        mesh = Mesh2D(10, 10)
+        levels, _ = _levels(mesh, [(3, 3), (4, 4)])
+        assert levels.esl((2, 3))[0] == 0  # East neighbour blocked
+        assert levels.esl((5, 4))[2] == 0  # West neighbour blocked
+        assert levels.esl((3, 2))[3] == 0  # North neighbour blocked
+        assert levels.esl((4, 5))[1] == 0  # South neighbour blocked
+
+    def test_level_accessor_by_direction(self):
+        mesh = Mesh2D(10, 10)
+        levels, _ = _levels(mesh, [(5, 2)])
+        assert levels.level((0, 2), Direction.EAST) == 4
+        assert levels.level((9, 2), Direction.WEST) == 3
+        assert levels.level((5, 0), Direction.NORTH) == 1
+        assert levels.level((5, 9), Direction.SOUTH) == 6
+
+    def test_rows_without_blocks_stay_unbounded(self):
+        mesh = Mesh2D(10, 10)
+        levels, _ = _levels(mesh, [(5, 2)])
+        assert levels.esl((0, 7)) == (UNBOUNDED,) * 4
+
+
+class TestTwoBlocksSameRow:
+    def test_nearest_block_wins(self):
+        mesh = Mesh2D(20, 20)
+        levels, _ = _levels(mesh, [(5, 10), (15, 10)])
+        east, _, west, _ = levels.esl((8, 10))
+        assert east == 6  # columns 9..14 clear, block at 15
+        assert west == 2  # columns 7, 6 clear, block at 5
+
+    def test_between_matches_region_partition(self):
+        """The region between two blocks is exactly E + W + 1 wide."""
+        mesh = Mesh2D(20, 20)
+        levels, _ = _levels(mesh, [(5, 10), (15, 10)])
+        for x in range(6, 15):
+            east, _, west, _ = levels.esl((x, 10))
+            assert east + west + 1 == 15 - 5 - 1
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("num_faults", [5, 20, 50])
+    def test_random_grids(self, rng, num_faults):
+        mesh = Mesh2D(25, 25)
+        for _ in range(4):
+            faults = uniform_faults(mesh, num_faults, rng)
+            blocks = build_faulty_blocks(mesh, faults)
+            levels = compute_safety_levels(mesh, blocks.unusable)
+            unusable = blocks.unusable
+            for _ in range(40):
+                x = int(rng.integers(0, 25))
+                y = int(rng.integers(0, 25))
+                if unusable[x, y]:
+                    continue
+                expected_east = _count_clear(unusable, x, y, 1, 0)
+                expected_west = _count_clear(unusable, x, y, -1, 0)
+                expected_north = _count_clear(unusable, x, y, 0, 1)
+                expected_south = _count_clear(unusable, x, y, 0, -1)
+                assert levels.esl((x, y)) == (
+                    expected_east,
+                    expected_south,
+                    expected_west,
+                    expected_north,
+                )
+
+    def test_shape_mismatch_raises(self):
+        mesh = Mesh2D(5, 5)
+        with pytest.raises(ValueError):
+            compute_safety_levels(mesh, np.zeros((4, 5), dtype=bool))
+
+
+def _count_clear(unusable, x, y, dx, dy):
+    """Clear hops strictly beyond (x, y); UNBOUNDED if clear to the edge."""
+    n, m = unusable.shape
+    count = 0
+    cx, cy = x + dx, y + dy
+    while 0 <= cx < n and 0 <= cy < m:
+        if unusable[cx, cy]:
+            return count
+        count += 1
+        cx += dx
+        cy += dy
+    return UNBOUNDED

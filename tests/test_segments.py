@@ -1,0 +1,172 @@
+"""Unit tests for Extension 2's region/segment machinery."""
+
+import pytest
+
+from repro.core.safety import UNBOUNDED, compute_safety_levels
+from repro.core.segments import build_axis_segments
+from repro.faults.blocks import build_faulty_blocks
+from repro.mesh.frames import Frame
+from repro.mesh.geometry import Direction
+from repro.mesh.topology import Mesh2D
+
+
+def _setup(mesh, faults):
+    blocks = build_faulty_blocks(mesh, faults)
+    return compute_safety_levels(mesh, blocks.unusable), blocks
+
+
+class TestRegionExtent:
+    def test_region_ends_at_block(self):
+        mesh = Mesh2D(20, 20)
+        levels, _ = _setup(mesh, [(7, 0)])
+        frame = Frame.for_pair((0, 0), (10, 10))
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, 1)
+        assert segments.region_length == 6  # nodes (1,0)..(6,0)
+        assert [s.offset for s in segments.samples] == list(range(1, 7))
+
+    def test_region_ends_at_mesh_edge(self):
+        mesh = Mesh2D(12, 12)
+        levels, _ = _setup(mesh, [(5, 5)])
+        frame = Frame.for_pair((3, 0), (10, 10))
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, 1)
+        assert segments.region_length == 12 - 1 - 3  # to the East edge
+
+    def test_reflected_frame_walks_the_right_way(self):
+        mesh = Mesh2D(12, 12)
+        levels, _ = _setup(mesh, [(2, 6)])  # West of the source at (8, 6)
+        frame = Frame.for_pair((8, 6), (0, 0))  # quadrant III
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, 1)
+        # Local East is global West: region ends at the block at x=2.
+        assert segments.region_length == 5  # (7..3, 6)
+        assert segments.samples[0].node == (7, 6)
+
+    def test_north_axis(self):
+        mesh = Mesh2D(12, 12)
+        levels, _ = _setup(mesh, [(0, 9)])
+        frame = Frame.for_pair((0, 0), (10, 10))
+        segments = build_axis_segments(mesh, levels, frame, Direction.NORTH, 1)
+        assert segments.region_length == 8
+        assert segments.samples[3].node == (0, 4)
+
+
+class TestSegmentation:
+    def test_size_one_samples_every_node(self):
+        mesh = Mesh2D(20, 20)
+        levels, _ = _setup(mesh, [(11, 0)])
+        frame = Frame.for_pair((0, 0), (15, 15))
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, 1)
+        assert len(segments.samples) == 10
+
+    def test_size_five_groups(self):
+        mesh = Mesh2D(20, 20)
+        levels, _ = _setup(mesh, [(11, 0)])
+        frame = Frame.for_pair((0, 0), (15, 15))
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, 5)
+        assert len(segments.samples) == 2  # region of 10 -> two segments
+        assert 1 <= segments.samples[0].offset <= 5
+        assert 6 <= segments.samples[1].offset <= 10
+
+    def test_max_is_single_segment(self):
+        mesh = Mesh2D(20, 20)
+        levels, _ = _setup(mesh, [(11, 0)])
+        frame = Frame.for_pair((0, 0), (15, 15))
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, None)
+        assert len(segments.samples) == 1
+
+    def test_representative_has_max_perpendicular_level(self):
+        mesh = Mesh2D(20, 20)
+        # Blocks at different heights above the x axis: (2, 3) caps N of x=2
+        # at 2; column 4 is clear so its N is unbounded.
+        levels, _ = _setup(mesh, [(2, 3), (11, 0)])
+        frame = Frame.for_pair((0, 0), (15, 15))
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, None)
+        sample = segments.samples[0]
+        assert sample.level == UNBOUNDED  # some clear column exists
+        assert sample.node[0] != 2
+
+    def test_default_tie_break_keeps_farthest(self):
+        """Paper-faithful default: among equal levels keep the far node --
+        the "(max)" variation's representative then usually lies beyond the
+        destination column, reproducing Figure 10's fall-back behaviour."""
+        mesh = Mesh2D(20, 20)
+        levels, _ = _setup(mesh, [(11, 0)])  # all columns clear to the North
+        frame = Frame.for_pair((0, 0), (15, 15))
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, None)
+        assert segments.samples[0].offset == segments.region_length
+
+    def test_near_tie_break_prefers_source_side(self):
+        mesh = Mesh2D(20, 20)
+        levels, _ = _setup(mesh, [(11, 0)])
+        frame = Frame.for_pair((0, 0), (15, 15))
+        segments = build_axis_segments(
+            mesh, levels, frame, Direction.EAST, None, tie_break="near"
+        )
+        assert segments.samples[0].offset == 1
+
+    def test_four_directional_widens_candidates(self):
+        """The paper's second variation: up to four representatives per
+        segment, one per direction maximum."""
+        mesh = Mesh2D(20, 20)
+        # Region [1..10]; make different nodes maximal in different
+        # directions: a block south of column 3 and north of column 7.
+        levels, _ = _setup(mesh, [(11, 0), (3, 5), (7, 9)])
+        frame = Frame.for_pair((0, 0), (15, 15))
+        single = build_axis_segments(mesh, levels, frame, Direction.EAST, None)
+        multi = build_axis_segments(
+            mesh, levels, frame, Direction.EAST, None, four_directional=True
+        )
+        assert len(multi.samples) >= len(single.samples)
+        assert len(multi.samples) <= 4
+        single_offsets = {s.offset for s in single.samples}
+        assert single_offsets <= {s.offset for s in multi.samples}
+
+    def test_four_directional_levels_stay_perpendicular(self):
+        """Extra representatives still report the perpendicular level the
+        Theorem 1b decision reads."""
+        mesh = Mesh2D(20, 20)
+        levels, _ = _setup(mesh, [(11, 0), (3, 5)])
+        frame = Frame.for_pair((0, 0), (15, 15))
+        multi = build_axis_segments(
+            mesh, levels, frame, Direction.EAST, None, four_directional=True
+        )
+        for sample in multi.samples:
+            assert sample.level == int(levels.north[sample.node])
+
+    def test_invalid_tie_break(self):
+        mesh = Mesh2D(5, 5)
+        levels, _ = _setup(mesh, [])
+        frame = Frame.for_pair((0, 0), (4, 4))
+        with pytest.raises(ValueError):
+            build_axis_segments(mesh, levels, frame, Direction.EAST, 1, tie_break="middle")
+
+
+class TestBestFor:
+    def test_best_for_filters_offset_and_level(self):
+        mesh = Mesh2D(20, 20)
+        levels, _ = _setup(mesh, [(11, 0), (5, 8)])
+        frame = Frame.for_pair((0, 0), (15, 15))
+        segments = build_axis_segments(mesh, levels, frame, Direction.EAST, 1)
+        # Column 5 has N level 7; other columns unbounded.
+        usable = segments.best_for(max_offset=10, required_level=9)
+        assert usable is not None and usable.node[0] != 5
+        constrained = segments.best_for(max_offset=5, required_level=8)
+        assert constrained is not None
+        assert constrained.offset <= 5
+        nothing = segments.best_for(max_offset=0, required_level=0)
+        assert nothing is None
+
+
+class TestValidation:
+    def test_bad_axis_raises(self):
+        mesh = Mesh2D(5, 5)
+        levels, _ = _setup(mesh, [])
+        frame = Frame.for_pair((0, 0), (4, 4))
+        with pytest.raises(ValueError):
+            build_axis_segments(mesh, levels, frame, Direction.WEST, 1)
+
+    def test_bad_segment_size_raises(self):
+        mesh = Mesh2D(5, 5)
+        levels, _ = _setup(mesh, [])
+        frame = Frame.for_pair((0, 0), (4, 4))
+        with pytest.raises(ValueError):
+            build_axis_segments(mesh, levels, frame, Direction.EAST, 0)

@@ -1,0 +1,119 @@
+"""Unit tests for the paper's strategies 1-4."""
+
+import pytest
+
+from repro.core.conditions import DecisionKind
+from repro.core.extensions import (
+    extension1_decision,
+    extension2_decision,
+    extension3_decision,
+)
+from repro.core.safety import compute_safety_levels
+from repro.core.strategies import Strategy, StrategyConfig, select_pivots, strategy_decision
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.coverage import minimal_path_exists
+from repro.faults.injection import uniform_faults
+from repro.mesh.geometry import Rect
+from repro.mesh.topology import Mesh2D
+
+
+def _setup(mesh, faults):
+    blocks = build_faulty_blocks(mesh, faults)
+    return compute_safety_levels(mesh, blocks.unusable), blocks
+
+
+class TestStrategyComposition:
+    def test_extension_usage_table(self):
+        assert Strategy.S1.uses_extension1 and Strategy.S1.uses_extension2
+        assert not Strategy.S1.uses_extension3
+        assert Strategy.S2.uses_extension1 and Strategy.S2.uses_extension3
+        assert not Strategy.S2.uses_extension2
+        assert Strategy.S3.uses_extension2 and Strategy.S3.uses_extension3
+        assert not Strategy.S3.uses_extension1
+        assert all(
+            (Strategy.S4.uses_extension1, Strategy.S4.uses_extension2, Strategy.S4.uses_extension3)
+        )
+
+    def test_strategy4_dominates(self, rng):
+        """Strategy 4 succeeds whenever any single extension does."""
+        mesh = Mesh2D(30, 30)
+        config = StrategyConfig(segment_size=5, pivot_levels=3, pivot_scheme="center")
+        region = Rect(15, 29, 15, 29)
+        pivots = select_pivots(config, region)
+        for _ in range(3):
+            faults = uniform_faults(mesh, 40, rng)
+            levels, blocks = _setup(mesh, faults)
+            for _ in range(60):
+                source = (int(rng.integers(0, 15)), int(rng.integers(0, 15)))
+                dest = (int(rng.integers(15, 30)), int(rng.integers(15, 30)))
+                if blocks.is_unusable(source) or blocks.is_unusable(dest):
+                    continue
+                individual = [
+                    extension1_decision(
+                        mesh, levels, blocks.unusable, source, dest, allow_sub_minimal=False
+                    ),
+                    extension2_decision(mesh, levels, source, dest, config.segment_size),
+                    extension3_decision(mesh, levels, blocks.unusable, source, dest, pivots),
+                ]
+                combined = strategy_decision(
+                    Strategy.S4, mesh, levels, blocks.unusable, source, dest, pivots, config
+                )
+                if any(d.kind is not DecisionKind.UNSAFE for d in individual):
+                    assert combined.kind is not DecisionKind.UNSAFE
+
+    def test_soundness_all_strategies(self, rng):
+        mesh = Mesh2D(30, 30)
+        config = StrategyConfig(pivot_scheme="center")
+        region = Rect(15, 29, 15, 29)
+        pivots = select_pivots(config, region)
+        faults = uniform_faults(mesh, 35, rng)
+        levels, blocks = _setup(mesh, faults)
+        for strategy in Strategy:
+            for _ in range(50):
+                source = (int(rng.integers(0, 15)), int(rng.integers(0, 15)))
+                dest = (int(rng.integers(15, 30)), int(rng.integers(15, 30)))
+                if blocks.is_unusable(source) or blocks.is_unusable(dest):
+                    continue
+                decision = strategy_decision(
+                    strategy, mesh, levels, blocks.unusable, source, dest, pivots, config
+                )
+                if decision.ensures_minimal:
+                    assert minimal_path_exists(blocks.unusable, source, dest)
+
+    def test_strategies_without_pivots(self, rng):
+        """S1 never consults the pivot list; an empty list must be fine."""
+        mesh = Mesh2D(20, 20)
+        faults = uniform_faults(mesh, 20, rng)
+        levels, blocks = _setup(mesh, faults)
+        decision = strategy_decision(
+            Strategy.S1, mesh, levels, blocks.unusable, (0, 0), (15, 15), pivots=[]
+        )
+        assert decision.kind in set(DecisionKind)
+
+
+class TestStrategyConfig:
+    def test_defaults_match_paper(self):
+        config = StrategyConfig()
+        assert config.segment_size == 5
+        assert config.pivot_levels == 3
+        assert config.pivot_scheme == "random"
+        assert not config.allow_sub_minimal
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            StrategyConfig(pivot_scheme="grid")
+
+    def test_select_pivots_center(self):
+        config = StrategyConfig(pivot_scheme="center", pivot_levels=2)
+        pivots = select_pivots(config, Rect(0, 99, 0, 99))
+        assert len(pivots) == 5
+
+    def test_select_pivots_random_needs_rng(self):
+        config = StrategyConfig(pivot_scheme="random")
+        with pytest.raises(ValueError):
+            select_pivots(config, Rect(0, 99, 0, 99))
+
+    def test_select_pivots_random(self, rng):
+        config = StrategyConfig(pivot_scheme="random", pivot_levels=3)
+        pivots = select_pivots(config, Rect(0, 99, 0, 99), rng)
+        assert 15 <= len(pivots) <= 21

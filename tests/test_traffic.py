@@ -1,0 +1,166 @@
+"""Tests for the packet-level traffic simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import is_safe
+from repro.core.routing import WuRouter
+from repro.core.safety import compute_safety_levels
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import uniform_faults
+from repro.mesh.geometry import manhattan_distance
+from repro.mesh.topology import Mesh2D
+from repro.routing.detour import DetourRouter
+from repro.routing.oracle import MonotoneOracleRouter
+from repro.routing.router import GreedyAdaptiveRouter
+from repro.simulator.traffic import (
+    PathPolicy,
+    run_workload,
+    uniform_traffic,
+)
+
+
+def _clean_mesh(side=12):
+    mesh = Mesh2D(side, side)
+    blocks = build_faulty_blocks(mesh, [])
+    return mesh, blocks
+
+
+class TestSinglePacket:
+    def test_uncontended_latency_equals_distance(self):
+        mesh, blocks = _clean_mesh()
+        policy = GreedyAdaptiveRouter(mesh, blocks.unusable)
+        stats = run_workload(mesh, policy, [((0, 0), (5, 3), 0)])
+        assert stats.delivered == 1
+        assert stats.latencies == [8]
+        assert stats.average_stretch == 1.0
+        assert stats.stall_cycles == 0
+
+    def test_injection_time_respected(self):
+        mesh, blocks = _clean_mesh()
+        policy = GreedyAdaptiveRouter(mesh, blocks.unusable)
+        stats = run_workload(mesh, policy, [((0, 0), (3, 0), 7)])
+        assert stats.delivered == 1
+        assert stats.latencies == [3]  # latency measured from injection
+        assert stats.total_cycles == 10
+
+    def test_path_policy_follows_precomputed_route(self):
+        mesh, blocks = _clean_mesh()
+        policy = PathPolicy(route=DetourRouter(mesh, blocks).route)
+        stats = run_workload(mesh, policy, [((0, 0), (4, 4), 0)])
+        assert stats.delivered == 1
+        assert stats.latencies == [8]
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        """Two packets fighting for the same link: one stalls one cycle."""
+        mesh, blocks = _clean_mesh()
+        policy = GreedyAdaptiveRouter(
+            mesh, blocks.unusable, tie_breaker=lambda c, d, cands: cands[0]
+        )
+        # Both packets start adjacent to (1, 0) heading East along row 0.
+        traffic = [((0, 0), (5, 0), 0), ((0, 0), (6, 0), 0)]
+        stats = run_workload(mesh, policy, traffic)
+        assert stats.delivered == 2
+        assert stats.stall_cycles >= 1
+        assert max(stats.latencies) > min(stats.latencies)
+
+    def test_age_priority_prevents_starvation(self):
+        mesh, blocks = _clean_mesh()
+        policy = GreedyAdaptiveRouter(
+            mesh, blocks.unusable, tie_breaker=lambda c, d, cands: cands[0]
+        )
+        # A stream of later packets cannot starve the first one.
+        traffic = [((0, 0), (8, 0), t) for t in range(6)]
+        stats = run_workload(mesh, policy, traffic)
+        assert stats.delivered == 6
+        assert stats.latencies[0] == 8  # the oldest packet never stalls
+
+
+class TestFaultyWorkloads:
+    def test_greedy_drops_where_wu_delivers(self, rng):
+        """On safe pairs Wu's protocol delivers everything; greedy may not."""
+        mesh = Mesh2D(24, 24)
+        faults = uniform_faults(mesh, 45, rng)
+        blocks = build_faulty_blocks(mesh, faults)
+        levels = compute_safety_levels(mesh, blocks.unusable)
+        traffic = [
+            (s, d, t)
+            for (s, d, t) in uniform_traffic(mesh, blocks.unusable, 150, rng, 20)
+            if is_safe(levels, s, d)
+        ]
+        assert traffic
+        wu_stats = run_workload(mesh, WuRouter(mesh, blocks), traffic)
+        greedy_stats = run_workload(
+            mesh, GreedyAdaptiveRouter(mesh, blocks.unusable), traffic
+        )
+        assert wu_stats.delivered == len(traffic)
+        assert wu_stats.average_stretch == 1.0
+        assert greedy_stats.delivered <= wu_stats.delivered
+
+    def test_detour_delivers_nonminimally(self, rng):
+        mesh = Mesh2D(24, 24)
+        # Interior block the traffic must round.
+        faults = [(11, 11), (12, 12)]
+        blocks = build_faulty_blocks(mesh, faults)
+        policy = PathPolicy(route=DetourRouter(mesh, blocks).route)
+        traffic = uniform_traffic(mesh, blocks.unusable, 80, rng, 10)
+        stats = run_workload(mesh, policy, traffic)
+        assert stats.delivered == len(traffic)
+        assert stats.average_stretch >= 1.0
+
+    def test_oracle_policy_matches_distance(self, rng):
+        mesh = Mesh2D(20, 20)
+        faults = uniform_faults(mesh, 20, rng)
+        blocks = build_faulty_blocks(mesh, faults)
+        oracle = MonotoneOracleRouter(mesh, blocks.unusable)
+        policy = PathPolicy(route=oracle.route)
+        traffic = []
+        for s, d, t in uniform_traffic(mesh, blocks.unusable, 60, rng, 10):
+            from repro.faults.coverage import minimal_path_exists
+
+            if minimal_path_exists(blocks.unusable, s, d):
+                traffic.append((s, d, t))
+        stats = run_workload(mesh, policy, traffic)
+        assert stats.delivered == len(traffic)
+        assert stats.average_stretch == 1.0
+
+    def test_load_increases_latency(self, rng):
+        """More offered traffic in the same window means more stalling."""
+        mesh, blocks = _clean_mesh(16)
+        policy = GreedyAdaptiveRouter(mesh, blocks.unusable)
+        light = run_workload(
+            mesh, policy, uniform_traffic(mesh, blocks.unusable, 20, rng, 5)
+        )
+        heavy = run_workload(
+            mesh, policy, uniform_traffic(mesh, blocks.unusable, 400, rng, 5)
+        )
+        assert heavy.stall_cycles > light.stall_cycles
+        assert heavy.average_latency > light.average_latency
+
+
+class TestUniformTraffic:
+    def test_triples_well_formed(self, rng):
+        mesh = Mesh2D(10, 10)
+        blocks = build_faulty_blocks(mesh, [(5, 5)])
+        triples = uniform_traffic(mesh, blocks.unusable, 50, rng, 8)
+        assert len(triples) == 50
+        for source, dest, when in triples:
+            assert source != dest
+            assert not blocks.unusable[source] and not blocks.unusable[dest]
+            assert 0 <= when < 8
+
+
+class TestConservation:
+    def test_every_packet_accounted(self, rng):
+        """delivered + dropped == offered, for any policy and workload."""
+        mesh = Mesh2D(16, 16)
+        faults = uniform_faults(mesh, 25, rng)
+        blocks = build_faulty_blocks(mesh, faults)
+        policy = GreedyAdaptiveRouter(mesh, blocks.unusable)
+        traffic = uniform_traffic(mesh, blocks.unusable, 120, rng, 15)
+        stats = run_workload(mesh, policy, traffic)
+        assert stats.delivered + stats.dropped == stats.offered == 120
+        assert len(stats.latencies) == stats.delivered
+        assert len(stats.hop_counts) == stats.delivered

@@ -1,0 +1,156 @@
+"""Integration tests for Wu's protocol: the Theorem 1/1a/1b/1c guarantees.
+
+These are the paper's central correctness claims: with only boundary
+information at the nodes, a safe source's packet is delivered minimally;
+the extensions' two-phase routings deliver with the promised lengths.
+"""
+
+import pytest
+
+from repro.core.boundaries import BoundaryMap
+from repro.core.conditions import DecisionKind, is_safe
+from repro.core.extensions import (
+    extension1_decision,
+    extension2_decision,
+    extension3_decision,
+)
+from repro.core.pivots import recursive_center_pivots
+from repro.core.routing import WuRouter, route_with_decision
+from repro.core.safety import compute_safety_levels
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import uniform_faults
+from repro.mesh.geometry import Rect
+from repro.mesh.topology import Mesh2D
+from repro.routing.router import RoutingError, x_first_tie_breaker
+
+
+def _setup(mesh, faults):
+    blocks = build_faulty_blocks(mesh, faults)
+    levels = compute_safety_levels(mesh, blocks.unusable)
+    return blocks, levels, WuRouter(mesh, blocks)
+
+
+class TestSingleBlockScenarios:
+    def test_stays_south_for_r6_destination(self):
+        mesh = Mesh2D(12, 12)
+        blocks, levels, router = _setup(mesh, [(4, 4), (5, 5)])  # block [4:5, 4:5]
+        source, dest = (0, 0), (9, 5)
+        assert is_safe(levels, source, dest)
+        path = router.route(source, dest)
+        assert path.is_minimal and path.avoids(blocks.unusable)
+        # All visited nodes in the block's column range stay below it.
+        for x, y in path:
+            if 4 <= x <= 5:
+                assert y <= 3
+
+    def test_stays_west_for_r4_destination(self):
+        mesh = Mesh2D(12, 12)
+        blocks, levels, router = _setup(mesh, [(4, 4), (5, 5)])
+        source, dest = (0, 0), (5, 9)
+        assert is_safe(levels, source, dest)
+        path = router.route(source, dest)
+        assert path.is_minimal and path.avoids(blocks.unusable)
+        for x, y in path:
+            if 4 <= y <= 5:
+                assert x <= 3
+
+    def test_x_first_tie_breaker_also_delivers(self):
+        """The protocol is adaptive: any tie-breaker respects the rules."""
+        mesh = Mesh2D(12, 12)
+        blocks, levels, _ = _setup(mesh, [(4, 4), (5, 5)])
+        router = WuRouter(mesh, blocks, tie_breaker=x_first_tie_breaker)
+        for dest in [(9, 5), (5, 9), (9, 9), (3, 9), (9, 3)]:
+            assert is_safe(levels, (0, 0), dest)
+            path = router.route((0, 0), dest)
+            assert path.is_minimal and path.avoids(blocks.unusable)
+
+    def test_all_four_quadrants(self):
+        mesh = Mesh2D(13, 13)
+        blocks, levels, router = _setup(mesh, [(6, 6)])
+        center = (6, 0)
+        for dest in [(12, 5), (0, 5)]:
+            assert is_safe(levels, center, dest)
+            path = router.route(center, dest)
+            assert path.is_minimal and path.avoids(blocks.unusable)
+        # And from the far corner heading South-West.
+        blocks2, levels2, router2 = _setup(mesh, [(6, 6), (7, 7)])
+        source, dest = (12, 12), (2, 5)
+        if is_safe(levels2, source, dest):
+            path = router2.route(source, dest)
+            assert path.is_minimal and path.avoids(blocks2.unusable)
+
+
+class TestTheorem1Randomized:
+    """Safe source => Wu's protocol delivers minimally (both tie-breakers,
+    randomized fault patterns, all quadrants)."""
+
+    @pytest.mark.parametrize("num_faults", [10, 30, 60])
+    def test_safe_pairs_route_minimally(self, rng, num_faults):
+        mesh = Mesh2D(30, 30)
+        for _ in range(4):
+            faults = uniform_faults(mesh, num_faults, rng)
+            blocks, levels, router = _setup(mesh, faults)
+            routed = 0
+            for _ in range(150):
+                source = (int(rng.integers(0, 30)), int(rng.integers(0, 30)))
+                dest = (int(rng.integers(0, 30)), int(rng.integers(0, 30)))
+                if blocks.is_unusable(source) or blocks.is_unusable(dest):
+                    continue
+                if not is_safe(levels, source, dest):
+                    continue
+                path = router.route(source, dest)
+                assert path.is_minimal
+                assert path.avoids(blocks.unusable)
+                routed += 1
+            assert routed > 0
+
+
+class TestTwoPhaseRoutings:
+    @pytest.mark.parametrize("num_faults", [20, 50])
+    def test_extension_decisions_are_routable(self, rng, num_faults):
+        mesh = Mesh2D(30, 30)
+        region = Rect(15, 29, 15, 29)
+        pivots = recursive_center_pivots(region, 3)
+        for _ in range(3):
+            faults = uniform_faults(mesh, num_faults, rng)
+            blocks, levels, router = _setup(mesh, faults)
+            counts = {kind: 0 for kind in DecisionKind}
+            for _ in range(120):
+                source = (int(rng.integers(0, 15)), int(rng.integers(0, 15)))
+                dest = (int(rng.integers(15, 30)), int(rng.integers(15, 30)))
+                if blocks.is_unusable(source) or blocks.is_unusable(dest):
+                    continue
+                for decision in (
+                    extension1_decision(mesh, levels, blocks.unusable, source, dest),
+                    extension2_decision(mesh, levels, source, dest, 1),
+                    extension3_decision(mesh, levels, blocks.unusable, source, dest, pivots),
+                ):
+                    if decision.kind is DecisionKind.UNSAFE:
+                        continue
+                    path = route_with_decision(router, decision, blocked=blocks.unusable)
+                    counts[decision.kind] += 1
+                    if decision.ensures_minimal:
+                        assert path.is_minimal
+                    else:
+                        assert path.is_sub_minimal
+            # The randomized scenarios must actually exercise the machinery.
+            assert counts[DecisionKind.SOURCE_SAFE] > 0
+
+    def test_unsafe_decision_rejected(self):
+        mesh = Mesh2D(10, 10)
+        blocks, levels, router = _setup(mesh, [(5, 0), (0, 5)])
+        decision = extension1_decision(mesh, levels, blocks.unusable, (0, 0), (9, 9))
+        if decision.kind is DecisionKind.UNSAFE:
+            with pytest.raises(RoutingError):
+                route_with_decision(router, decision)
+
+
+class TestSharedBoundaryMap:
+    def test_router_accepts_prebuilt_map(self):
+        mesh = Mesh2D(12, 12)
+        blocks = build_faulty_blocks(mesh, [(4, 4), (5, 5)])
+        bmap = BoundaryMap.for_blocks(blocks)
+        router = WuRouter(mesh, blocks, boundary_map=bmap)
+        assert router.boundaries is bmap
+        path = router.route((0, 0), (9, 5))
+        assert path.is_minimal
