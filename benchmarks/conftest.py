@@ -4,32 +4,99 @@ Each figure bench runs the experiment once under pytest-benchmark timing,
 prints the reproduced series (table + ASCII plot), and writes the artifacts
 to ``benchmarks/out/<figure>.txt`` / ``.csv`` so the reproduction record
 survives output capture.  Set ``REPRO_FULL=1`` for the paper-scale run.
+
+With ``--metrics-out PATH`` the whole run executes under an observability
+tracer (see :mod:`repro.obs`) and every recorded figure is merged into one
+JSON file at PATH: the figure series (rounded exactly like the CSV artifact)
+plus the aggregate trace metrics (event counters, timing spans).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 from repro.experiments.report import FigureSeries
+from repro.obs import MetricsSink, Tracer, set_tracer
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write figure series + aggregate observability metrics as JSON",
+    )
+
+
+@pytest.fixture(scope="session")
+def metrics_sink(request):
+    """Session-wide MetricsSink installed as the current tracer when
+    ``--metrics-out`` is given; None otherwise (runs stay on the no-op
+    tracer and pay no instrumentation cost)."""
+    target = request.config.getoption("--metrics-out")
+    if target is None:
+        yield None
+        return
+    sink = MetricsSink()
+    previous = set_tracer(Tracer(sink))
+    try:
+        yield sink
+    finally:
+        set_tracer(previous)
+
+
 @pytest.fixture
-def record_series(capsys):
+def record_series(capsys, request, metrics_sink):
     """Persist and display a reproduced figure."""
 
     def _record(series: FigureSeries) -> None:
         OUT_DIR.mkdir(exist_ok=True)
         (OUT_DIR / f"{series.figure_id}.txt").write_text(series.render())
         (OUT_DIR / f"{series.figure_id}.csv").write_text(series.to_csv())
+        target = request.config.getoption("--metrics-out")
+        if target is not None:
+            _write_metrics(pathlib.Path(target), series, metrics_sink)
         with capsys.disabled():
             print()
             print(series.to_table())
 
     return _record
+
+
+def _write_metrics(path: pathlib.Path, series: FigureSeries, sink: MetricsSink) -> None:
+    """Merge one recorded figure into the metrics JSON at ``path``.
+
+    Series values are rounded exactly like ``FigureSeries.to_csv`` (six
+    decimals) so the JSON and the CSV artifact agree digit-for-digit.
+    """
+    payload: dict = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    figures = payload.setdefault("figures", {})
+    figures[series.figure_id] = {
+        "title": series.title,
+        "x_label": series.x_label,
+        "xs": series.xs,
+        "series": {
+            name: {
+                "values": [float(f"{e.value:.6f}") for e in points],
+                "ci95": [float(f"{e.half_width:.6f}") for e in points],
+            }
+            for name, points in series.series.items()
+        },
+    }
+    payload["metrics"] = sink.snapshot()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
 
 
 def column_mean(series: FigureSeries, name: str) -> float:

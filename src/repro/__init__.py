@@ -71,6 +71,17 @@ from repro.routing import (
     RoutingError,
     shortest_path_bfs,
 )
+from repro.obs import (
+    JsonlSink,
+    MetricsSink,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    read_jsonl,
+    set_tracer,
+    use_tracer,
+)
 
 __version__ = "1.0.0"
 
@@ -85,19 +96,24 @@ __all__ = [
     "FaultyBlock",
     "Frame",
     "GreedyAdaptiveRouter",
+    "JsonlSink",
     "MCCComponent",
     "MCCSet",
     "MCCType",
     "Mesh2D",
+    "MetricsSink",
     "MonotoneOracleRouter",
     "NodeStatus",
     "Path",
     "Quadrant",
     "Rect",
+    "RingBufferSink",
     "RoutingError",
     "SafetyLevels",
     "Strategy",
     "StrategyConfig",
+    "TraceEvent",
+    "Tracer",
     "UNBOUNDED",
     "WuRouter",
     "__version__",
@@ -108,14 +124,18 @@ __all__ = [
     "extension2_decision",
     "extension3_decision",
     "generate_scenario",
+    "get_tracer",
     "is_safe",
     "manhattan_distance",
     "minimal_path_exists",
     "minimal_path_exists_wang",
+    "read_jsonl",
     "recursive_center_pivots",
     "route_with_decision",
     "safe_source_decision",
+    "set_tracer",
     "shortest_path_bfs",
     "strategy_decision",
     "uniform_faults",
+    "use_tracer",
 ]

@@ -1,10 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the library's workflows:
+Subcommands cover the library's workflows:
 
 - ``figures``   reproduce the paper's figures (tables + ASCII plots + CSV);
 - ``scenario``  render a random fault scenario (blocks or MCCs);
 - ``route``     route one packet and show the path on the mesh;
+- ``trace``     hop-by-hop decision log: which safe condition / extension
+  justified the route, and the rule behind every forwarding step;
+- ``stats``     aggregate observability metrics (routes, protocol messages,
+  timing spans) for one scenario, as a table or JSON;
 - ``protocols`` run the distributed information protocols and report cost.
 """
 
@@ -59,6 +63,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["wu", "greedy", "detour", "oracle"],
         default="wu",
         help="routing policy (default: wu)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="hop-by-hop routing decision log (safe conditions + rules)"
+    )
+    trace.add_argument("source", type=_parse_coord, help="x,y")
+    trace.add_argument("dest", type=_parse_coord, help="x,y")
+    _common_scenario_args(trace)
+    trace.add_argument(
+        "--jsonl", type=pathlib.Path, help="also dump the raw trace events as JSONL"
+    )
+
+    stats = sub.add_parser(
+        "stats", help="aggregate routing/protocol metrics for one scenario"
+    )
+    _common_scenario_args(stats)
+    stats.add_argument(
+        "--routes", type=int, default=50, help="random routes to drive (default 50)"
+    )
+    stats.add_argument("--json", action="store_true", help="emit the snapshot as JSON")
+    stats.add_argument(
+        "--jsonl", type=pathlib.Path, help="also dump the raw trace events as JSONL"
     )
 
     protocols = sub.add_parser("protocols", help="distributed info-formation costs")
@@ -191,6 +217,237 @@ def _cmd_route(args, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _format_trace_event(event) -> str | None:
+    """One pretty line per replayed trace event (None: not user-facing).
+
+    Timing spans are deliberately omitted so the trace output is
+    deterministic under a fixed seed.
+    """
+    from repro.mesh.geometry import Direction
+
+    data = event.data
+    if event.kind == "extension_fired":
+        via = f", helper {data['via']}" if data["via"] is not None else ""
+        return f"route plan: {data['decision']}{via} (+{data['overhead']} hops allowed)"
+    if event.kind == "route_start":
+        return f"leg: {data['source']} -> {data['dest']} [{data['router']}, D={data['distance']}]"
+    if event.kind == "hop":
+        direction = Direction.between(tuple(data["at"]), tuple(data["to"])).name
+        bits = []
+        if "rule" in data:
+            bits.append(data["rule"])
+        if "candidates" in data:
+            bits.append(f"{data['candidates']} choice(s)")
+        if "forbidden" in data:
+            bits.append("forbidden " + "/".join(data["forbidden"]))
+        note = f"  [{', '.join(bits)}]" if bits else ""
+        return f"  hop {data['index'] + 1:>3}: {data['at']} -> {data['to']} {direction}{note}"
+    if event.kind == "detour":
+        return "        ^ detour: this hop moves away from the destination"
+    if event.kind == "block_hit":
+        return (
+            f"  block: preferred {data['direction']} neighbour {data['blocked']} "
+            f"of {data['at']} is unusable"
+        )
+    if event.kind == "route_end":
+        quality = "minimal" if data["minimal"] else f"{data['detours']} detour(s)"
+        return f"leg delivered: {data['hops']} hops ({quality})"
+    if event.kind == "route_failed":
+        return f"leg failed at {data['at']}: {data['reason']}"
+    return None
+
+
+def _cmd_trace(args, out: Callable[[str], None]) -> int:
+    from repro.core.conditions import DecisionKind, safe_source_decision
+    from repro.core.extensions import (
+        extension1_decision,
+        extension2_decision,
+        extension3_decision,
+    )
+    from repro.core.pivots import recursive_center_pivots
+    from repro.core.routing import WuRouter, route_with_decision
+    from repro.core.safety import UNBOUNDED, compute_safety_levels
+    from repro.mesh.geometry import Rect, manhattan_distance
+    from repro.obs import JsonlSink, MetricsSink, RingBufferSink, Tracer, use_tracer
+    from repro.routing.detour import DetourRouter
+    from repro.routing.router import RoutingError
+
+    scenario, _ = _build_scenario(args)
+    mesh, blocks = scenario.mesh, scenario.blocks
+    source, dest = args.source, args.dest
+    for endpoint, name in ((source, "source"), (dest, "destination")):
+        if not mesh.in_bounds(endpoint):
+            out(f"error: {name} {endpoint} is outside the mesh")
+            return 2
+        if blocks.is_unusable(endpoint):
+            out(f"error: {name} {endpoint} lies inside a faulty block")
+            return 2
+
+    blocked = blocks.unusable
+    levels = compute_safety_levels(mesh, blocked)
+    out(
+        f"{mesh}: {scenario.num_faults} faults -> {len(blocks)} blocks; "
+        f"routing {source} -> {dest} (D = {manhattan_distance(source, dest)})"
+    )
+    esl = ", ".join(
+        "clear" if level >= UNBOUNDED else str(level) for level in levels.esl(source)
+    )
+    out(f"source ESL (E, S, W, N): ({esl})")
+
+    # The decision cascade mirrors the paper's escalation: Definition 3,
+    # then Extensions 1-3 (minimal), then Extension 1's sub-minimal rule.
+    bbox = Rect(
+        min(source[0], dest[0]),
+        max(source[0], dest[0]),
+        min(source[1], dest[1]),
+        max(source[1], dest[1]),
+    )
+    cascade = [
+        (
+            "Definition 3 (safe source)",
+            lambda: safe_source_decision(levels, source, dest),
+        ),
+        (
+            "Extension 1 (safe preferred neighbour, minimal)",
+            lambda: extension1_decision(
+                mesh, levels, blocked, source, dest, allow_sub_minimal=False
+            ),
+        ),
+        (
+            "Extension 2 (known axis node)",
+            lambda: extension2_decision(mesh, levels, source, dest, segment_size=None),
+        ),
+        (
+            "Extension 3 (broadcast pivots)",
+            lambda: extension3_decision(
+                mesh, levels, blocked, source, dest, recursive_center_pivots(bbox, 3)
+            ),
+        ),
+        (
+            "Extension 1 (safe spare neighbour, sub-minimal)",
+            lambda: extension1_decision(mesh, levels, blocked, source, dest),
+        ),
+    ]
+    decision = None
+    for label, check in cascade:
+        candidate = check()
+        if candidate.kind is DecisionKind.UNSAFE:
+            out(f"  {label}: does not apply")
+        else:
+            via = f" via {candidate.via}" if candidate.via is not None else ""
+            out(f"  {label}: fires ({candidate.kind.value}{via})")
+            decision = candidate
+            break
+
+    ring = RingBufferSink(capacity=8192)
+    metrics = MetricsSink()
+    sinks: list = [ring, metrics]
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    tracer = Tracer(*sinks)
+    status = 0
+    path = None
+    error_partial: list = []
+    try:
+        with use_tracer(tracer):
+            if decision is not None:
+                path = route_with_decision(
+                    WuRouter(mesh, blocks), decision, blocked=blocked
+                )
+            else:
+                out("  no safe condition applies -- falling back to XY-detour routing")
+                path = DetourRouter(mesh, blocks).route(source, dest)
+    except RoutingError as error:
+        status = 1
+        error_partial = error.partial
+    finally:
+        tracer.close()
+
+    out("")
+    for event in ring:
+        line = _format_trace_event(event)
+        if line is not None:
+            out(line)
+
+    out("")
+    if path is not None:
+        extra = path.hops - manhattan_distance(source, dest)
+        quality = "minimal" if extra == 0 else f"sub-minimal, +{extra}"
+        out(
+            f"delivered in {path.hops} hops ({quality}); events: "
+            f"{metrics.event_counts.get('hop', 0)} hop, "
+            f"{metrics.event_counts.get('detour', 0)} detour, "
+            f"{metrics.event_counts.get('block_hit', 0)} block_hit"
+        )
+    else:
+        out(f"routing failed; partial trace: {' -> '.join(str(c) for c in error_partial)}")
+    if args.jsonl:
+        out(f"wrote {sinks[-1].events_written} events to {args.jsonl}")
+    return status
+
+
+def _cmd_stats(args, out: Callable[[str], None]) -> int:
+    import json
+
+    from repro.core.conditions import DecisionKind
+    from repro.core.extensions import extension1_decision
+    from repro.core.routing import WuRouter, route_with_decision
+    from repro.core.safety import compute_safety_levels
+    from repro.obs import JsonlSink, MetricsSink, Tracer, use_tracer
+    from repro.routing.detour import DetourRouter
+    from repro.routing.router import RoutingError
+    from repro.simulator.protocols import (
+        run_block_formation,
+        run_boundary_distribution,
+        run_safety_propagation,
+    )
+
+    scenario, rng = _build_scenario(args)
+    mesh, blocks = scenario.mesh, scenario.blocks
+    blocked = blocks.unusable
+    metrics = MetricsSink()
+    sinks: list = [metrics]
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    tracer = Tracer(*sinks)
+    free = [coord for coord in mesh.nodes() if not blocked[coord]]
+    try:
+        with use_tracer(tracer):
+            levels = compute_safety_levels(mesh, blocked)
+            run_block_formation(mesh, scenario.faults)
+            run_safety_propagation(mesh, blocked)
+            run_boundary_distribution(mesh, blocks.rects(), blocked)
+            router = WuRouter(mesh, blocks)
+            fallback = DetourRouter(mesh, blocks)
+            for _ in range(args.routes):
+                src = free[int(rng.integers(len(free)))]
+                dst = free[int(rng.integers(len(free)))]
+                if src == dst:
+                    continue
+                decision = extension1_decision(mesh, levels, blocked, src, dst)
+                try:
+                    if decision.kind is DecisionKind.UNSAFE:
+                        fallback.route(src, dst)
+                    else:
+                        route_with_decision(router, decision, blocked=blocked)
+                except RoutingError:
+                    pass  # recorded by the tracer as a route_failed event
+    finally:
+        tracer.close()
+
+    if args.json:
+        out(json.dumps(metrics.snapshot(), indent=2))
+    else:
+        out(
+            f"{mesh}: {scenario.num_faults} faults, {len(blocks)} blocks, "
+            f"{args.routes} routes"
+        )
+        out(metrics.to_table())
+    if args.jsonl:
+        out(f"wrote {sinks[-1].events_written} events to {args.jsonl}")
+    return 0
+
+
 def _cmd_protocols(args, out: Callable[[str], None]) -> int:
     from repro.core.pivots import recursive_center_pivots
     from repro.core.safety import compute_safety_levels
@@ -251,6 +508,8 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "scenario": _cmd_scenario,
     "route": _cmd_route,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
     "protocols": _cmd_protocols,
     "memory": _cmd_memory,
     "sweep": _cmd_sweep,

@@ -28,6 +28,7 @@ from repro.faults.blocks import BlockSet
 from repro.mesh.frames import Frame
 from repro.mesh.geometry import Coord, manhattan_distance
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer
 from repro.routing.path import Path
 from repro.routing.router import (
     HopRouter,
@@ -48,8 +49,9 @@ class WuRouter(HopRouter):
         blocks: BlockSet,
         boundary_map: BoundaryMap | None = None,
         tie_breaker: TieBreaker = balanced_tie_breaker,
+        tracer: Tracer | None = None,
     ):
-        super().__init__(mesh)
+        super().__init__(mesh, tracer=tracer)
         self.blocks = blocks
         self.boundaries = boundary_map if boundary_map is not None else BoundaryMap.for_blocks(blocks)
         self.tie_breaker = tie_breaker
@@ -65,6 +67,13 @@ class WuRouter(HopRouter):
             for direction in preferred
             if not self.blocks.unusable[direction.step(current)]
         ]
+        trc = self._tracer()
+        tracing = trc.enabled
+        if tracing:
+            for direction in preferred:
+                if direction not in candidates:
+                    trc.emit("block_hit", at=current, blocked=direction.step(current),
+                             dest=dest, direction=direction.name)
         if not candidates:
             raise RoutingError(
                 f"no free preferred neighbour at {current} toward {dest}",
@@ -78,6 +87,13 @@ class WuRouter(HopRouter):
             )
         }
         allowed = [direction for direction in candidates if direction not in forbidden]
+        if tracing:
+            self._hop_note = {
+                "rule": "stay-on-line" if forbidden else "adaptive",
+                "candidates": len(allowed),
+            }
+            if forbidden:
+                self._hop_note["forbidden"] = sorted(d.name for d in forbidden)
         if not allowed:
             raise RoutingError(
                 f"every free preferred move at {current} toward {dest} is a detour "
@@ -114,6 +130,10 @@ def route_with_decision(
     """
     source, dest, via = decision.source, decision.dest, decision.via
     kind = decision.kind
+    trc = router._tracer()
+    if trc.enabled:
+        trc.emit("extension_fired", decision=kind.value, source=source, dest=dest,
+                 via=via, overhead=decision.expected_length_overhead)
     if kind is DecisionKind.UNSAFE:
         raise RoutingError(f"decision for {source} -> {dest} is unsafe; nothing to route")
     if kind is DecisionKind.SOURCE_SAFE:
@@ -121,6 +141,14 @@ def route_with_decision(
     assert via is not None
     if kind in (DecisionKind.PREFERRED_NEIGHBOR_SAFE, DecisionKind.SPARE_NEIGHBOR_SAFE):
         first_leg = Path.of([source, via])
+        if trc.enabled:
+            # The single neighbour hop never enters the driver loop, so
+            # report it here to keep hop accounting exact.
+            rule = ("spare-neighbor" if kind is DecisionKind.SPARE_NEIGHBOR_SAFE
+                    else "preferred-neighbor")
+            trc.emit("hop", at=source, to=via, dest=dest, index=0, rule=rule)
+            if manhattan_distance(via, dest) > manhattan_distance(source, dest):
+                trc.emit("detour", at=source, to=via, dest=dest)
     else:  # axis node or pivot: a full Wu-protocol leg
         first_leg = router.route(source, via)
     second_leg = router.route(via, dest)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
+from repro.obs import get_tracer
 
 #: Sentinel for "no faulty block in this direction" -- large enough that any
 #: in-mesh offset comparison treats it as infinity, small enough to stay well
@@ -95,7 +96,14 @@ def compute_safety_levels(mesh: Mesh2D, blocked: np.ndarray) -> SafetyLevels:
     """Compute the ESL of every node from the blocked-node grid.
 
     ``blocked`` is the union of faulty blocks (or MCCs) as a boolean grid.
+    The computation runs under an ``esl.compute`` timing span when a tracer
+    is installed (see :mod:`repro.obs`).
     """
+    with get_tracer().span("esl.compute", n=mesh.n, m=mesh.m):
+        return _compute_safety_levels(mesh, blocked)
+
+
+def _compute_safety_levels(mesh: Mesh2D, blocked: np.ndarray) -> SafetyLevels:
     if blocked.shape != (mesh.n, mesh.m):
         raise ValueError(
             f"blocked grid shape {blocked.shape} does not match mesh {mesh.n}x{mesh.m}"

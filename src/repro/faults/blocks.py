@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.mesh.geometry import Coord, Rect
 from repro.mesh.topology import Mesh2D
+from repro.obs import get_tracer
 
 
 def _shifted(mask: np.ndarray, dx: int, dy: int) -> np.ndarray:
@@ -225,8 +226,14 @@ def build_faulty_blocks(mesh: Mesh2D, faults: Iterable[Coord]) -> BlockSet:
 
     Runs Definition 1's disabling rule to a fixpoint, extracts 4-connected
     components of unusable nodes, and packages each as a rectangular
-    :class:`FaultyBlock`.
+    :class:`FaultyBlock`.  Runs under a ``blocks.build`` timing span when a
+    tracer is installed (see :mod:`repro.obs`).
     """
+    with get_tracer().span("blocks.build", n=mesh.n, m=mesh.m):
+        return _build_faulty_blocks(mesh, faults)
+
+
+def _build_faulty_blocks(mesh: Mesh2D, faults: Iterable[Coord]) -> BlockSet:
     faulty = np.zeros((mesh.n, mesh.m), dtype=bool)
     for coord in faults:
         mesh.require_in_bounds(coord)

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.mesh.geometry import Coord, Quadrant, Rect
 from repro.mesh.topology import Mesh2D
+from repro.obs import get_tracer
 
 
 class NodeStatus(enum.IntEnum):
@@ -238,7 +239,16 @@ class MCCSet:
 
 
 def build_mccs(mesh: Mesh2D, faults: Iterable[Coord], mcc_type: MCCType) -> MCCSet:
-    """Construct the MCCs of ``mesh`` for the given faults and MCC type."""
+    """Construct the MCCs of ``mesh`` for the given faults and MCC type.
+
+    Runs under an ``mcc.build`` timing span when a tracer is installed
+    (see :mod:`repro.obs`).
+    """
+    with get_tracer().span("mcc.build", n=mesh.n, m=mesh.m, type=mcc_type.name):
+        return _build_mccs(mesh, faults, mcc_type)
+
+
+def _build_mccs(mesh: Mesh2D, faults: Iterable[Coord], mcc_type: MCCType) -> MCCSet:
     faulty = np.zeros((mesh.n, mesh.m), dtype=bool)
     for coord in faults:
         mesh.require_in_bounds(coord)

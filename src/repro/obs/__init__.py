@@ -1,0 +1,59 @@
+"""Zero-dependency observability layer: tracing, metrics, timing spans.
+
+Every router, protocol, and hot computation in this library can report what
+it is doing through a :class:`~repro.obs.tracer.Tracer`:
+
+- typed events (:mod:`repro.obs.events`) describe routing decisions
+  (``hop``, ``detour``, ``block_hit``, ``extension_fired``), protocol
+  traffic (``protocol_msg``, ``engine_run``), and timed sections
+  (``span_start`` / ``span_end``);
+- sinks (:mod:`repro.obs.sinks`) buffer events in memory or persist them
+  as JSONL; the aggregating :class:`~repro.obs.metrics.MetricsSink` folds
+  the stream into counters and histograms online;
+- the default tracer is a no-op (:data:`~repro.obs.tracer.NULL_TRACER`),
+  so uninstrumented runs pay only an ``enabled`` check per potential event.
+
+Typical use::
+
+    from repro.obs import MetricsSink, RingBufferSink, Tracer, use_tracer
+
+    ring, metrics = RingBufferSink(), MetricsSink()
+    with use_tracer(Tracer(ring, metrics)):
+        router.route(source, dest)
+    for event in ring:
+        print(event)
+    print(metrics.to_table())
+
+``python -m repro trace`` and ``python -m repro stats`` expose the same
+machinery from the command line.
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceEvent, jsonable
+from repro.obs.metrics import Histogram, MetricsSink
+from repro.obs.sinks import JsonlSink, RingBufferSink, Sink, read_jsonl
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "Histogram",
+    "JsonlSink",
+    "MetricsSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingBufferSink",
+    "Sink",
+    "TraceEvent",
+    "Tracer",
+    "get_tracer",
+    "jsonable",
+    "read_jsonl",
+    "set_tracer",
+    "use_tracer",
+]

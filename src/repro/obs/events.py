@@ -1,0 +1,99 @@
+"""Typed trace events.
+
+A :class:`TraceEvent` is one observation emitted by a
+:class:`~repro.obs.tracer.Tracer`: a ``kind`` from the closed vocabulary
+below, a monotonically increasing sequence number (per tracer), and a flat
+payload of JSON-serializable fields.  Events are plain data -- sinks decide
+whether to buffer, persist, or aggregate them.
+
+Event vocabulary (producers in parentheses):
+
+==================  =========================================================
+kind                meaning
+==================  =========================================================
+``route_start``     a router begins driving one source -> dest leg
+``hop``             one forwarding step, with the rule that justified it
+``detour``          a hop that *increased* the distance to the destination
+``block_hit``       a preferred neighbour was rejected as block-unusable
+``extension_fired`` a safe-condition decision selected the route shape
+``route_end``       leg delivered (hops, detours, minimality)
+``route_failed``    a router got stuck; carries the partial trace
+``protocol_msg``    a simulator message entered a channel (kind, queue depth)
+``engine_run``      a discrete-event engine drained (events, pending, time)
+``span_start``      a timed section opened
+``span_end``        a timed section closed; carries ``duration`` seconds
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+EVENT_KINDS: frozenset[str] = frozenset(
+    {
+        "route_start",
+        "hop",
+        "detour",
+        "block_hit",
+        "extension_fired",
+        "route_end",
+        "route_failed",
+        "protocol_msg",
+        "engine_run",
+        "span_start",
+        "span_end",
+    }
+)
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce an event field to a JSON-serializable shape.
+
+    Coordinates arrive as tuples (-> lists), directions as enums (-> names),
+    counts as numpy scalars (-> Python scalars); anything unrecognized falls
+    back to ``str`` so emitting can never raise.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    item = getattr(value, "item", None)  # numpy scalars, without importing numpy
+    if callable(item):
+        try:
+            return jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed observation."""
+
+    kind: str
+    seq: int
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r} (see EVENT_KINDS)")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-ready form (tuples -> lists, enums -> names)."""
+        return {"kind": self.kind, "seq": self.seq, "data": jsonable(dict(self.data))}
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "TraceEvent":
+        return TraceEvent(
+            kind=payload["kind"], seq=int(payload["seq"]), data=dict(payload["data"])
+        )
+
+    def __str__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.seq}] {self.kind}({fields})"

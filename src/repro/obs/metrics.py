@@ -1,0 +1,209 @@
+"""Aggregating metrics sink: counters and histograms over the event stream.
+
+:class:`MetricsSink` turns a trace into the numbers the paper's evaluation
+is built from, online and without buffering events:
+
+- a counter per event kind (``hop``, ``detour``, ``block_hit``, ...);
+- per-message-kind counts and queue-depth / messages-per-tick histograms
+  for the distributed protocols (``protocol_msg`` events);
+- hops-per-route / detours-per-route histograms plus minimal / sub-minimal
+  / failed route tallies (``route_end`` / ``route_failed`` events).  Route
+  tallies count *driver-loop legs*: a two-phase extension route contributes
+  one ``route_end`` per Wu-protocol leg, while its single neighbour hop is
+  reported as a plain ``hop`` event and the sub-minimal intent shows up in
+  the decision tally (``spare-neighbor-safe``);
+- a decision tally per fired safe-condition rule (``extension_fired``);
+- a duration histogram per named span (``span_end``);
+- the latest engine drain snapshot (``engine_run``: events processed,
+  pending queue, simulated time).
+
+``snapshot()`` returns the whole aggregate as a JSON-ready dict;
+``to_table()`` renders it for terminals (``repro stats``).
+"""
+
+from __future__ import annotations
+
+import collections
+import io
+from typing import Any
+
+from repro.obs.events import TraceEvent, jsonable
+
+
+class Histogram:
+    """Streaming summary of one numeric quantity (count/total/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsSink:
+    """Fold the event stream into counters and histograms."""
+
+    def __init__(self) -> None:
+        self.event_counts: collections.Counter[str] = collections.Counter()
+        self.message_counts: collections.Counter[str] = collections.Counter()
+        self.decision_counts: collections.Counter[str] = collections.Counter()
+        self.hops_per_route = Histogram()
+        self.detours_per_route = Histogram()
+        self.queue_depth = Histogram()
+        self.span_durations: dict[str, Histogram] = {}
+        self.routes_delivered = 0
+        self.routes_minimal = 0
+        self.routes_failed = 0
+        self.engine: dict[str, Any] = {}
+        self._messages_per_tick: collections.Counter[int] = collections.Counter()
+
+    # ------------------------------------------------------------------
+    def record(self, event: TraceEvent) -> None:
+        self.event_counts[event.kind] += 1
+        data = event.data
+        if event.kind == "protocol_msg":
+            self.message_counts[str(data.get("msg", "?"))] += 1
+            if "queue" in data:
+                self.queue_depth.observe(data["queue"])
+            if "time" in data:
+                self._messages_per_tick[int(data["time"])] += 1
+        elif event.kind == "route_end":
+            self.routes_delivered += 1
+            self.hops_per_route.observe(data.get("hops", 0))
+            self.detours_per_route.observe(data.get("detours", 0))
+            if data.get("minimal"):
+                self.routes_minimal += 1
+        elif event.kind == "route_failed":
+            self.routes_failed += 1
+        elif event.kind == "extension_fired":
+            self.decision_counts[str(data.get("decision", "?"))] += 1
+        elif event.kind == "span_end":
+            name = str(data.get("name", "?"))
+            self.span_durations.setdefault(name, Histogram()).observe(
+                data.get("duration", 0.0)
+            )
+        elif event.kind == "engine_run":
+            self.engine = dict(data)
+
+    # ------------------------------------------------------------------
+    def messages_per_tick(self) -> Histogram:
+        """Histogram of protocol messages sent per integer sim-time tick."""
+        histogram = Histogram()
+        for count in self._messages_per_tick.values():
+            histogram.observe(count)
+        return histogram
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole aggregate as a JSON-serializable dict."""
+        return jsonable(
+            {
+                "events": dict(sorted(self.event_counts.items())),
+                "protocol_messages": dict(sorted(self.message_counts.items())),
+                "decisions": dict(sorted(self.decision_counts.items())),
+                "routes": {
+                    "delivered": self.routes_delivered,
+                    "minimal": self.routes_minimal,
+                    "sub_minimal": self.routes_delivered - self.routes_minimal,
+                    "failed": self.routes_failed,
+                    "hops": self.hops_per_route.summary(),
+                    "detours": self.detours_per_route.summary(),
+                },
+                "protocol": {
+                    "queue_depth": self.queue_depth.summary(),
+                    "messages_per_tick": self.messages_per_tick().summary(),
+                },
+                "spans": {
+                    name: histogram.summary()
+                    for name, histogram in sorted(self.span_durations.items())
+                },
+                "engine": self.engine,
+            }
+        )
+
+    def to_table(self, with_timings: bool = True) -> str:
+        """Aligned text rendering of the snapshot."""
+        out = io.StringIO()
+
+        def section(title: str, rows: list[tuple[str, str]]) -> None:
+            if not rows:
+                return
+            out.write(f"{title}\n")
+            width = max(len(label) for label, _ in rows)
+            for label, value in rows:
+                out.write(f"  {label:<{width}}  {value}\n")
+
+        section(
+            "events",
+            [(kind, str(count)) for kind, count in sorted(self.event_counts.items())],
+        )
+        section(
+            "protocol messages",
+            [(kind, str(count)) for kind, count in sorted(self.message_counts.items())],
+        )
+        section(
+            "decisions fired",
+            [(kind, str(count)) for kind, count in sorted(self.decision_counts.items())],
+        )
+        if self.routes_delivered or self.routes_failed:
+            rows = [
+                ("delivered", str(self.routes_delivered)),
+                ("minimal", str(self.routes_minimal)),
+                ("sub-minimal", str(self.routes_delivered - self.routes_minimal)),
+                ("failed", str(self.routes_failed)),
+                ("hops/route", f"mean {self.hops_per_route.mean:.2f} "
+                               f"max {self.hops_per_route.max or 0:g}"),
+                ("detours/route", f"mean {self.detours_per_route.mean:.2f} "
+                                  f"max {self.detours_per_route.max or 0:g}"),
+            ]
+            section("routes", rows)
+        if self.queue_depth.count:
+            per_tick = self.messages_per_tick()
+            section(
+                "simulator",
+                [
+                    ("queue depth", f"mean {self.queue_depth.mean:.1f} "
+                                    f"max {self.queue_depth.max or 0:g}"),
+                    ("msgs/tick", f"mean {per_tick.mean:.1f} max {per_tick.max or 0:g}"),
+                ],
+            )
+        if self.engine:
+            section(
+                "engine",
+                [(key, f"{value:g}" if isinstance(value, (int, float)) else str(value))
+                 for key, value in self.engine.items()],
+            )
+        if with_timings and self.span_durations:
+            section(
+                "spans",
+                [
+                    (name, f"x{h.count}  total {h.total * 1e3:.2f}ms  "
+                           f"mean {h.mean * 1e3:.3f}ms")
+                    for name, h in sorted(self.span_durations.items())
+                ],
+            )
+        return out.getvalue().rstrip("\n")

@@ -1,0 +1,142 @@
+"""Tracers: the emitting side of the observability layer.
+
+Two implementations share one interface:
+
+- :class:`Tracer` fans events out to its sinks and times ``span()`` blocks.
+- :class:`NullTracer` (the module singleton :data:`NULL_TRACER`) does
+  nothing; ``enabled`` is False so hot paths can skip even building the
+  event payload::
+
+      trc = self.tracer or get_tracer()
+      if trc.enabled:
+          trc.emit("hop", at=current, to=nxt)
+
+The *current* tracer is a module-level slot (default: the null tracer) so
+deep call sites -- ESL computation, block formation, the simulator -- pick
+up instrumentation without every caller threading a parameter through.
+Install one for a region of code with :func:`use_tracer`, or globally with
+:func:`set_tracer`.  Uninstrumented runs therefore pay only an attribute
+load and a predictable branch per potential event.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import time
+from typing import Any, Iterator
+
+from repro.obs.events import TraceEvent
+from repro.obs.sinks import Sink
+
+
+class _Span:
+    """A timed section: ``span_start`` on enter, ``span_end`` (with
+    ``duration`` in seconds) on exit."""
+
+    __slots__ = ("_tracer", "_name", "_data", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, data: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._data = data
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        self._tracer.emit("span_start", name=self._name, **self._data)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        duration = time.perf_counter() - self._t0
+        self._tracer.emit("span_end", name=self._name, duration=duration, **self._data)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emit typed events to one or more sinks."""
+
+    enabled: bool = True
+
+    def __init__(self, *sinks: Sink):
+        self._sinks: list[Sink] = list(sinks)
+        self._seq = itertools.count()
+
+    def add_sink(self, sink: Sink) -> None:
+        self._sinks.append(sink)
+
+    def emit(self, kind: str, **data: Any) -> None:
+        event = TraceEvent(kind=kind, seq=next(self._seq), data=data)
+        for sink in self._sinks:
+            sink.record(event)
+
+    def span(self, name: str, **data: Any) -> _Span:
+        """Context manager timing a section; see :class:`_Span`."""
+        return _Span(self, name, data)
+
+    def close(self) -> None:
+        """Close every sink that holds resources (e.g. JSONL files)."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
+
+
+class NullTracer(Tracer):
+    """The no-op default: every operation returns immediately."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def emit(self, kind: str, **data: Any) -> None:
+        pass
+
+    def span(self, name: str, **data: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (the null tracer by default)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` (None restores the null tracer); returns the
+    previously installed one so callers can restore it."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

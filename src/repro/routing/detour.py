@@ -26,8 +26,9 @@ router then raises :class:`RoutingError` -- the model's known limitation.
 from __future__ import annotations
 
 from repro.faults.blocks import BlockSet
-from repro.mesh.geometry import Coord, Direction
+from repro.mesh.geometry import Coord, Direction, manhattan_distance
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.routing.path import Path
 from repro.routing.router import RoutingError
 
@@ -41,9 +42,13 @@ class DetourRouter:
     -- exactly what the boundary-information model distributes.
     """
 
-    def __init__(self, mesh: Mesh2D, blocks: BlockSet):
+    def __init__(self, mesh: Mesh2D, blocks: BlockSet, tracer: Tracer | None = None):
         self.mesh = mesh
         self.blocks = blocks
+        self.tracer = tracer
+
+    def _tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
 
     def route(self, source: Coord, dest: Coord) -> Path:
         self.mesh.require_in_bounds(source)
@@ -51,6 +56,11 @@ class DetourRouter:
         if self.blocks.is_unusable(source) or self.blocks.is_unusable(dest):
             raise RoutingError(f"endpoint inside a faulty block: {source} -> {dest}")
 
+        trc = self._tracer()
+        tracing = trc.enabled
+        if tracing:
+            trc.emit("route_start", router=type(self).__name__, source=source,
+                     dest=dest, distance=manhattan_distance(source, dest))
         trace = [source]
         targets = [dest]
         guard = 8 * self.mesh.size + 16  # every detour ring is finite
@@ -58,7 +68,7 @@ class DetourRouter:
         while targets:
             steps += 1
             if steps > guard:
-                raise RoutingError("detour routing failed to converge", partial=trace)
+                raise self._fail("detour routing failed to converge", trace, dest)
             current = trace[-1]
             target = targets[-1]
             if current == target:
@@ -67,16 +77,43 @@ class DetourRouter:
             direction = _xy_direction(current, target)
             nxt = direction.step(current)
             if not self.mesh.in_bounds(nxt):
-                raise RoutingError(
-                    f"detour walk left the mesh at {current}", partial=trace
-                )
+                raise self._fail(f"detour walk left the mesh at {current}", trace, dest)
             if not self.blocks.is_unusable(nxt):
+                if tracing:
+                    rule = "xy" if target == dest else "ring"
+                    trc.emit("hop", at=current, to=nxt, dest=dest,
+                             index=len(trace) - 1, rule=rule)
+                    if manhattan_distance(nxt, dest) > manhattan_distance(current, dest):
+                        trc.emit("detour", at=current, to=nxt, dest=dest)
                 trace.append(nxt)
                 continue
-            climb, crossing = self._detour_waypoints(current, direction, target)
+            if tracing:
+                trc.emit("block_hit", at=current, blocked=nxt, dest=dest,
+                         direction=direction.name)
+            try:
+                climb, crossing = self._detour_waypoints(current, direction, target)
+            except RoutingError as error:
+                if len(error.partial) < len(trace):
+                    error.partial = list(trace)
+                if tracing:
+                    trc.emit("route_failed", at=current, dest=dest,
+                             reason=str(error), partial=error.partial)
+                raise
             targets.append(crossing)
             targets.append(climb)
-        return Path.of(trace)
+        path = Path.of(trace)
+        if tracing:
+            trc.emit("route_end", source=source, dest=dest, hops=path.hops,
+                     minimal=path.is_minimal, detours=path.detours)
+        return path
+
+    def _fail(self, reason: str, trace: list[Coord], dest: Coord) -> RoutingError:
+        error = RoutingError(reason, partial=trace)
+        trc = self._tracer()
+        if trc.enabled:
+            trc.emit("route_failed", at=trace[-1], dest=dest,
+                     reason=reason, partial=trace)
+        return error
 
     # ------------------------------------------------------------------
     def _detour_waypoints(

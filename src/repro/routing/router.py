@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.mesh.geometry import Coord, Direction, manhattan_distance
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.routing.path import Path
 
 
@@ -64,14 +65,27 @@ def x_first_tie_breaker(current: Coord, dest: Coord, candidates: list[Direction]
 
 
 class HopRouter(abc.ABC):
-    """Shared drive loop over an abstract hop function."""
+    """Shared drive loop over an abstract hop function.
 
-    def __init__(self, mesh: Mesh2D):
+    ``tracer`` (or, when None, the globally installed tracer) receives
+    ``route_start`` / ``hop`` / ``detour`` / ``route_end`` events while
+    driving; :meth:`next_hop` implementations may leave a justification for
+    the current hop in ``self._hop_note`` and it is attached to the ``hop``
+    event.  With the default no-op tracer the loop pays one ``enabled``
+    check per hop.
+    """
+
+    def __init__(self, mesh: Mesh2D, tracer: Tracer | None = None):
         self.mesh = mesh
+        self.tracer = tracer
+        self._hop_note: dict | None = None
 
     @abc.abstractmethod
     def next_hop(self, current: Coord, dest: Coord) -> Coord:
         """The next node toward ``dest``; raises :class:`RoutingError` if stuck."""
+
+    def _tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
 
     def route(self, source: Coord, dest: Coord, max_hops: int | None = None) -> Path:
         """Drive the hop function from source to destination.
@@ -79,20 +93,59 @@ class HopRouter(abc.ABC):
         ``max_hops`` defaults to ``D(source, dest) + 2 * mesh.size`` as a
         runaway guard; minimal routers take exactly ``D`` hops because every
         move is to a preferred neighbour.
+
+        A :class:`RoutingError` raised by :meth:`next_hop` is re-raised with
+        ``partial`` widened to the full trace accumulated so far (not just
+        the stuck node), and the failure is reported as a ``route_failed``
+        event carrying that trace.
         """
         self.mesh.require_in_bounds(source)
         self.mesh.require_in_bounds(dest)
         limit = max_hops if max_hops is not None else (
             manhattan_distance(source, dest) + 2 * self.mesh.size
         )
+        trc = self._tracer()
+        tracing = trc.enabled
+        if tracing:
+            trc.emit(
+                "route_start",
+                router=type(self).__name__,
+                source=source,
+                dest=dest,
+                distance=manhattan_distance(source, dest),
+            )
         trace = [source]
         current = source
         while current != dest:
             if len(trace) - 1 >= limit:
-                raise RoutingError(f"hop limit {limit} exceeded", partial=trace)
-            current = self.next_hop(current, dest)
-            trace.append(current)
-        return Path.of(trace)
+                error = RoutingError(f"hop limit {limit} exceeded", partial=trace)
+                if tracing:
+                    trc.emit("route_failed", at=current, dest=dest,
+                             reason=str(error), partial=trace)
+                raise error
+            self._hop_note = None
+            try:
+                nxt = self.next_hop(current, dest)
+            except RoutingError as error:
+                if len(error.partial) < len(trace):
+                    error.partial = list(trace)
+                if tracing:
+                    trc.emit("route_failed", at=current, dest=dest,
+                             reason=str(error), partial=error.partial)
+                raise
+            if tracing:
+                note = self._hop_note or {}
+                trc.emit("hop", at=current, to=nxt, dest=dest,
+                         index=len(trace) - 1, **note)
+                if manhattan_distance(nxt, dest) > manhattan_distance(current, dest):
+                    trc.emit("detour", at=current, to=nxt, dest=dest)
+            trace.append(nxt)
+            current = nxt
+        path = Path.of(trace)
+        if tracing:
+            trc.emit("route_end", source=source, dest=dest, hops=path.hops,
+                     minimal=path.is_minimal, detours=path.detours)
+        return path
 
 
 @dataclass
@@ -113,17 +166,26 @@ class GreedyAdaptiveRouter(HopRouter):
         mesh: Mesh2D,
         blocked: np.ndarray,
         tie_breaker: TieBreaker = balanced_tie_breaker,
+        tracer: Tracer | None = None,
     ):
-        super().__init__(mesh)
+        super().__init__(mesh, tracer=tracer)
         self.blocked = blocked
         self.tie_breaker = tie_breaker
 
     def next_hop(self, current: Coord, dest: Coord) -> Coord:
+        preferred = self.mesh.preferred_directions(current, dest)
         candidates = [
             direction
-            for direction in self.mesh.preferred_directions(current, dest)
+            for direction in preferred
             if not self.blocked[direction.step(current)]
         ]
+        trc = self._tracer()
+        if trc.enabled:
+            for direction in preferred:
+                if direction not in candidates:
+                    trc.emit("block_hit", at=current, blocked=direction.step(current),
+                             dest=dest, direction=direction.name)
+            self._hop_note = {"rule": "greedy", "candidates": len(candidates)}
         if not candidates:
             raise RoutingError(
                 f"greedy routing stuck at {current} toward {dest}", partial=[current]

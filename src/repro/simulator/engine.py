@@ -57,16 +57,27 @@ class Engine:
 
         ``until`` stops before events later than the given time;
         ``max_events`` bounds runaway protocols (raises if exceeded).
+
+        ``events_processed`` (incremented by :meth:`step`) is the single
+        source of truth; this method counts against a snapshot of it, so the
+        lifetime total and the per-run count can never drift apart.
         """
-        processed = 0
+        start = self.events_processed
         while self._queue:
             if until is not None and self._queue[0].time > until:
                 break
-            if max_events is not None and processed >= max_events:
+            if max_events is not None and self.events_processed - start >= max_events:
                 raise RuntimeError(
                     f"event budget of {max_events} exhausted at t={self.now} "
                     f"({self.pending} events pending)"
                 )
             self.step()
-            processed += 1
-        return processed
+        return self.events_processed - start
+
+    def metrics_snapshot(self) -> dict[str, float | int]:
+        """Counters for the observability layer's ``engine_run`` events."""
+        return {
+            "now": self.now,
+            "pending": self.pending,
+            "events_processed": self.events_processed,
+        }

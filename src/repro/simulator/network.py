@@ -7,6 +7,7 @@ from typing import Callable, Iterable
 
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.simulator.channels import Channel
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
@@ -45,10 +46,12 @@ class MeshNetwork:
         node_factory: Callable[[Coord, "MeshNetwork"], NodeProcess],
         faulty: Iterable[Coord] = (),
         latency: float = 1.0,
+        tracer: Tracer | None = None,
     ):
         self.mesh = mesh
         self.engine = engine
         self.latency = latency
+        self.tracer = tracer
         self.faulty: set[Coord] = set(faulty)
         for coord in self.faulty:
             mesh.require_in_bounds(coord)
@@ -75,11 +78,19 @@ class MeshNetwork:
     # ------------------------------------------------------------------
     # Message plumbing
     # ------------------------------------------------------------------
+    def _tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
+
     def send_from(self, src: Coord, direction: Direction, kind: str, payload) -> bool:
         """Send one hop; False if the link does not exist (mesh edge)."""
         channel = self.channels.get((src, direction))
         if channel is None:
             return False
+        trc = self._tracer()
+        if trc.enabled:
+            trc.emit("protocol_msg", msg=kind, src=src, direction=direction.name,
+                     time=self.engine.now, queue=self.engine.pending,
+                     dropped=not channel.up)
         channel.send(Message(src=src, dst=channel.dst, kind=kind, payload=payload))
         return True
 
@@ -93,10 +104,14 @@ class MeshNetwork:
     # ------------------------------------------------------------------
     def run(self, max_events: int | None = None) -> NetworkStats:
         """Start every process and drain the engine to quiescence."""
-        for process in self.nodes.values():
-            process.start()
-        budget = max_events if max_events is not None else 200 * self.mesh.size + 10_000
-        events = self.engine.run(max_events=budget)
+        trc = self._tracer()
+        with trc.span("network.run", nodes=len(self.nodes)):
+            for process in self.nodes.values():
+                process.start()
+            budget = max_events if max_events is not None else 200 * self.mesh.size + 10_000
+            events = self.engine.run(max_events=budget)
+        if trc.enabled:
+            trc.emit("engine_run", events=events, **self.engine.metrics_snapshot())
         return NetworkStats(
             messages=sum(c.messages_carried for c in self.channels.values()),
             dropped=sum(c.messages_dropped for c in self.channels.values()),

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork, NetworkStats
@@ -56,7 +57,8 @@ class BlockFormationResult:
 
 
 def run_block_formation(
-    mesh: Mesh2D, faults: list[Coord], latency: float = 1.0
+    mesh: Mesh2D, faults: list[Coord], latency: float = 1.0,
+    tracer: Tracer | None = None,
 ) -> BlockFormationResult:
     """Run the labelling protocol to quiescence."""
     fault_set = set(faults)
@@ -69,8 +71,12 @@ def run_block_formation(
         )
         return BlockFormationProcess(coord, network, faulty_dirs)
 
-    network = MeshNetwork(mesh, Engine(), factory, faulty=fault_set, latency=latency)
-    stats = network.run()
+    trc = tracer if tracer is not None else get_tracer()
+    network = MeshNetwork(
+        mesh, Engine(), factory, faulty=fault_set, latency=latency, tracer=tracer
+    )
+    with trc.span("protocol.block_formation", faults=len(fault_set)):
+        stats = network.run()
 
     unusable = np.zeros((mesh.n, mesh.m), dtype=bool)
     for coord in fault_set:

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.boundaries import BoundaryTag, Line
 from repro.mesh.geometry import Coord, Direction, Rect
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork, NetworkStats
@@ -95,6 +96,7 @@ def run_boundary_distribution(
     rects: list[Rect],
     unusable: np.ndarray,
     latency: float = 1.0,
+    tracer: Tracer | None = None,
 ) -> BoundaryDistributionResult:
     """Distribute L1 and L3 information for every block (canonical
     quadrant-I orientation)."""
@@ -108,12 +110,16 @@ def run_boundary_distribution(
         )
         return BoundaryProcess(coord, network, blocked_dirs)
 
-    network = MeshNetwork(mesh, Engine(), factory, faulty=blocked_coords, latency=latency)
+    trc = tracer if tracer is not None else get_tracer()
+    network = MeshNetwork(
+        mesh, Engine(), factory, faulty=blocked_coords, latency=latency, tracer=tracer
+    )
     for index, rect in enumerate(rects):
         _seed_l1(mesh, network, index, rect)
         _seed_l3(mesh, network, index, rect)
 
-    stats = network.run()
+    with trc.span("protocol.boundary_distribution", blocks=len(rects)):
+        stats = network.run()
 
     annotations: dict[Coord, list[BoundaryTag]] = {}
     for coord, process in network.nodes.items():

@@ -17,6 +17,7 @@ import numpy as np
 from repro.faults.mcc import _LABEL_RULES, MCCType, NodeStatus
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork, NetworkStats
@@ -75,7 +76,8 @@ class MCCFormationResult:
 
 
 def run_mcc_formation(
-    mesh: Mesh2D, faults: list[Coord], mcc_type: MCCType, latency: float = 1.0
+    mesh: Mesh2D, faults: list[Coord], mcc_type: MCCType, latency: float = 1.0,
+    tracer: Tracer | None = None,
 ) -> MCCFormationResult:
     fault_set = set(faults)
 
@@ -87,8 +89,12 @@ def run_mcc_formation(
         )
         return MCCFormationProcess(coord, network, faulty_dirs, mcc_type)
 
-    network = MeshNetwork(mesh, Engine(), factory, faulty=fault_set, latency=latency)
-    stats = network.run()
+    trc = tracer if tracer is not None else get_tracer()
+    network = MeshNetwork(
+        mesh, Engine(), factory, faulty=fault_set, latency=latency, tracer=tracer
+    )
+    with trc.span("protocol.mcc_formation", faults=len(fault_set)):
+        stats = network.run()
 
     status = np.zeros((mesh.n, mesh.m), dtype=np.int8)
     for coord in fault_set:

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.safety import SafetyLevels
 from repro.mesh.geometry import Coord
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork, NetworkStats
@@ -62,6 +63,7 @@ def run_pivot_broadcast(
     levels: SafetyLevels,
     pivots: list[Coord],
     latency: float = 1.0,
+    tracer: Tracer | None = None,
 ) -> PivotBroadcastResult:
     """Flood every pivot's ESL through the free part of the mesh.
 
@@ -82,8 +84,12 @@ def run_pivot_broadcast(
         )
         return PivotBroadcastProcess(coord, network, esl, is_pivot=coord in pivot_set)
 
-    network = MeshNetwork(mesh, Engine(), factory, faulty=blocked_coords, latency=latency)
-    stats = network.run()
+    trc = tracer if tracer is not None else get_tracer()
+    network = MeshNetwork(
+        mesh, Engine(), factory, faulty=blocked_coords, latency=latency, tracer=tracer
+    )
+    with trc.span("protocol.pivot_broadcast", pivots=len(pivot_set)):
+        stats = network.run()
 
     tables = {
         coord: dict(process.pivot_table)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.safety import SafetyLevels
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork, NetworkStats
@@ -99,6 +100,7 @@ def run_region_exchange(
     unusable: np.ndarray,
     levels: SafetyLevels,
     latency: float = 1.0,
+    tracer: Tracer | None = None,
 ) -> RegionExchangeResult:
     """Run the two-end accumulation over every region of the mesh.
 
@@ -122,8 +124,12 @@ def run_region_exchange(
             blocked_dirs=blocked_dirs,
         )
 
-    network = MeshNetwork(mesh, Engine(), factory, faulty=blocked_coords, latency=latency)
-    stats = network.run()
+    trc = tracer if tracer is not None else get_tracer()
+    network = MeshNetwork(
+        mesh, Engine(), factory, faulty=blocked_coords, latency=latency, tracer=tracer
+    )
+    with trc.span("protocol.region_exchange", blocked=len(blocked_coords)):
+        stats = network.run()
 
     row_knowledge: dict[Coord, dict[int, int]] = {}
     column_knowledge: dict[Coord, dict[int, int]] = {}

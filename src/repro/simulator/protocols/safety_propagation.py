@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.safety import UNBOUNDED, SafetyLevels
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
+from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork, NetworkStats
@@ -67,7 +68,8 @@ class SafetyPropagationResult:
 
 
 def run_safety_propagation(
-    mesh: Mesh2D, unusable: np.ndarray, latency: float = 1.0
+    mesh: Mesh2D, unusable: np.ndarray, latency: float = 1.0,
+    tracer: Tracer | None = None,
 ) -> SafetyPropagationResult:
     """Run the FORMATION algorithm over the blocked-node grid.
 
@@ -84,8 +86,12 @@ def run_safety_propagation(
         )
         return SafetyFormationProcess(coord, network, blocked_dirs)
 
-    network = MeshNetwork(mesh, Engine(), factory, faulty=blocked_coords, latency=latency)
-    stats = network.run()
+    trc = tracer if tracer is not None else get_tracer()
+    network = MeshNetwork(
+        mesh, Engine(), factory, faulty=blocked_coords, latency=latency, tracer=tracer
+    )
+    with trc.span("protocol.safety_propagation", blocked=len(blocked_coords)):
+        stats = network.run()
 
     grids = {d: np.zeros((mesh.n, mesh.m), dtype=np.int64) for d in Direction}
     for coord, process in network.nodes.items():

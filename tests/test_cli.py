@@ -81,6 +81,54 @@ class TestRoute:
         assert "outside the mesh" in output
 
 
+class TestTrace:
+    def test_safe_source_trace(self):
+        code, output = _run(["trace", "0,0", "7,7", "--faults", "3", "--seed", "1"])
+        assert code == 0
+        assert "Definition 3 (safe source): fires" in output
+        assert "hop   1:" in output
+        assert "delivered in" in output
+
+    def test_endpoint_errors(self):
+        code, output = _run(["trace", "0,0", "99,99", "--faults", "3", "--seed", "1"])
+        assert code == 2
+        assert "outside the mesh" in output
+
+    def test_jsonl_dump_round_trips(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        target = tmp_path / "trace.jsonl"
+        code, output = _run(
+            ["trace", "0,0", "7,7", "--faults", "3", "--seed", "1", "--jsonl", str(target)]
+        )
+        assert code == 0
+        events = read_jsonl(target)
+        assert sum(1 for e in events if e.kind == "hop") == 14
+        assert f"wrote {len(events)} events" in output
+
+
+class TestStats:
+    def test_table(self):
+        code, output = _run(
+            ["stats", "--side", "16", "--faults", "10", "--seed", "3", "--routes", "10"]
+        )
+        assert code == 0
+        for section in ("events", "protocol messages", "routes", "spans"):
+            assert section in output
+
+    def test_json_snapshot(self):
+        import json
+
+        code, output = _run(
+            ["stats", "--side", "16", "--faults", "10", "--seed", "3",
+             "--routes", "5", "--json"]
+        )
+        assert code == 0
+        snapshot = json.loads(output)
+        assert snapshot["routes"]["delivered"] >= 1
+        assert "esl" in snapshot["protocol_messages"]
+
+
 class TestProtocols:
     def test_cost_table(self):
         code, output = _run(["protocols", "--side", "16", "--faults", "10"])
