@@ -95,3 +95,40 @@ def test_distributed_safety_formation_speed(benchmark):
         run_safety_propagation, args=(mesh, blocks.unusable), rounds=3, iterations=1
     )
     assert result.stats.messages > 0
+
+
+# ----------------------------------------------------------------------
+def register_workloads(registry):
+    """``repro bench`` discovery hook: this module's workloads that are not
+    already built-ins, at the same scales the pytest benches use."""
+
+    def oracle_setup(config):
+        side = 60 if config.quick else SIDE
+        mesh = Mesh2D(side, side)
+        rng = np.random.default_rng(config.seed)
+        faults = uniform_faults(mesh, side // 2, rng, forbidden={mesh.center})
+        blocks = build_faulty_blocks(mesh, faults)
+        return blocks.unusable, mesh.center, (side - 2, side - 2)
+
+    @registry.register(
+        "micro.existence_oracle", setup=oracle_setup,
+        description="exact DP minimal-path existence oracle over one long pair",
+    )
+    def run_oracle(state):
+        blocked, source, dest = state
+        return minimal_path_exists(blocked, source, dest)
+
+    def formation_setup(config):
+        side = 24 if config.quick else 40
+        mesh = Mesh2D(side, side)
+        rng = np.random.default_rng(config.seed)
+        return mesh, uniform_faults(mesh, side * side // 50, rng)
+
+    @registry.register(
+        "macro.distributed_block_formation", kind="macro", setup=formation_setup,
+        repeats=3, quick_repeats=1,
+        description="message-passing block formation to convergence",
+    )
+    def run_formation(state):
+        mesh, faults = state
+        return run_block_formation(mesh, faults)

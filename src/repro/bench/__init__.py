@@ -1,0 +1,35 @@
+"""The reproducible benchmark harness behind ``repro bench``.
+
+A :class:`~repro.bench.registry.BenchRegistry` holds named *workloads* --
+micro (one substrate operation: ESL computation, block formation, a single
+route) and macro (figure-scale sweeps and route batches).  Built-ins live
+in :mod:`repro.bench.workloads`; any ``benchmarks/bench_*.py`` file can
+contribute more by exposing ``register_workloads(registry)``.
+
+The :mod:`runner <repro.bench.runner>` times each workload over repeated
+runs (untraced, so wall-times are honest), then replays it once under a
+tracer + profiler to attach trace-metric and hot-counter summaries, and
+writes the whole result as ``BENCH_<n>.json`` at the repository root --
+the repo's perf trajectory.  ``repro bench --compare OLD.json
+--tolerance 0.15`` gates a run against a previous one and exits non-zero
+on regression, which is exactly what CI runs on every push.
+"""
+
+from repro.bench.registry import BenchRegistry, Workload
+from repro.bench.runner import (
+    BenchConfig,
+    compare_results,
+    next_bench_path,
+    run_benchmarks,
+)
+from repro.bench.workloads import builtin_registry
+
+__all__ = [
+    "BenchConfig",
+    "BenchRegistry",
+    "Workload",
+    "builtin_registry",
+    "compare_results",
+    "next_bench_path",
+    "run_benchmarks",
+]

@@ -1,0 +1,152 @@
+"""Workload registry for ``repro bench``.
+
+A :class:`Workload` is a named, self-contained benchmark: ``setup(config)``
+builds its state (untimed), ``run(state)`` is the timed body.  Workloads
+register either programmatically (:meth:`BenchRegistry.add`), via the
+:meth:`BenchRegistry.register` decorator, or by discovery:
+:meth:`BenchRegistry.load_directory` imports every ``bench_*.py`` in a
+directory and calls its module-level ``register_workloads(registry)`` hook
+when present, so the pytest-benchmark figure benches and the CLI harness
+share one catalogue.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import importlib.util
+import pathlib
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Workload kinds: ``micro`` times one substrate operation, ``macro`` a
+#: whole sweep or batch.
+KINDS = ("micro", "macro")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark workload.
+
+    ``run`` receives ``setup(config)``'s return value; workloads without a
+    setup receive the :class:`~repro.bench.runner.BenchConfig` itself, so
+    they can scale with ``config.quick`` / seed with ``config.seed``.
+    """
+
+    name: str
+    kind: str
+    run: Callable[[Any], Any]
+    setup: Callable[[Any], Any] | None = None
+    description: str = ""
+    repeats: int = 20
+    quick_repeats: int = 5
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown workload kind {self.kind!r} (use {KINDS})")
+        if self.repeats < 1 or self.quick_repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+
+@dataclass
+class BenchRegistry:
+    """An ordered, duplicate-checked catalogue of workloads."""
+
+    _workloads: dict[str, Workload] = field(default_factory=dict)
+
+    def add(self, workload: Workload) -> Workload:
+        if workload.name in self._workloads:
+            raise ValueError(f"duplicate workload name {workload.name!r}")
+        self._workloads[workload.name] = workload
+        return workload
+
+    def register(
+        self,
+        name: str,
+        kind: str = "micro",
+        setup: Callable[[Any], Any] | None = None,
+        description: str = "",
+        repeats: int = 20,
+        quick_repeats: int = 5,
+    ) -> Callable[[Callable[[Any], Any]], Callable[[Any], Any]]:
+        """Decorator form: ``@registry.register("micro.esl", setup=...)``."""
+
+        def decorate(run: Callable[[Any], Any]) -> Callable[[Any], Any]:
+            self.add(
+                Workload(
+                    name=name,
+                    kind=kind,
+                    run=run,
+                    setup=setup,
+                    description=description or (run.__doc__ or "").strip(),
+                    repeats=repeats,
+                    quick_repeats=quick_repeats,
+                )
+            )
+            return run
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    def load_directory(self, directory: str | pathlib.Path) -> list[str]:
+        """Import every ``bench_*.py`` under ``directory`` and run its
+        ``register_workloads(registry)`` hook when it has one.
+
+        Returns warning strings for files that failed to import or
+        register; a missing hook is not a warning (most bench files are
+        pytest-benchmark suites without a CLI-facing workload).
+        """
+        directory = pathlib.Path(directory)
+        warnings: list[str] = []
+        if not directory.is_dir():
+            return [f"bench directory {directory} does not exist"]
+        sys.path.insert(0, str(directory))  # bench files import their conftest
+        try:
+            for path in sorted(directory.glob("bench_*.py")):
+                module_name = f"repro_bench_discovery_{path.stem}"
+                try:
+                    if module_name in sys.modules:
+                        module = sys.modules[module_name]
+                    else:
+                        spec = importlib.util.spec_from_file_location(module_name, path)
+                        assert spec is not None and spec.loader is not None
+                        module = importlib.util.module_from_spec(spec)
+                        sys.modules[module_name] = module
+                        spec.loader.exec_module(module)
+                    hook = getattr(module, "register_workloads", None)
+                    if callable(hook):
+                        hook(self)
+                except Exception as error:  # noqa: BLE001 - surface, don't die
+                    warnings.append(f"{path.name}: {error}")
+        finally:
+            sys.path.remove(str(directory))
+        return warnings
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return list(self._workloads)
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._workloads
+
+    def get(self, name: str) -> Workload:
+        return self._workloads[name]
+
+    def select(self, patterns: list[str] | None = None) -> list[Workload]:
+        """Workloads matching any shell-style pattern (all when None);
+        unknown patterns raise so typos fail loudly."""
+        workloads = list(self._workloads.values())
+        if not patterns:
+            return workloads
+        selected: list[Workload] = []
+        for workload in workloads:
+            if any(fnmatch.fnmatch(workload.name, p) for p in patterns):
+                selected.append(workload)
+        if not selected:
+            raise KeyError(
+                f"no workload matches {patterns!r} (have: {', '.join(self.names())})"
+            )
+        return selected

@@ -1,0 +1,192 @@
+"""Built-in benchmark workloads: the substrate's hot paths plus
+figure-scale macro sweeps.
+
+Every workload is deterministic under its seed and scales down under
+``--quick`` (CI smoke) while keeping the same shape, so quick and full
+runs regress on the same code paths.  Discovery adds more workloads from
+``benchmarks/bench_*.py`` (see :mod:`repro.bench.registry`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.bench.registry import BenchRegistry
+
+
+def _scenario(side: int, fault_count: int, seed: int):
+    from repro.faults.injection import uniform_faults
+    from repro.mesh.topology import Mesh2D
+
+    mesh = Mesh2D(side, side)
+    rng = np.random.default_rng(seed)
+    faults = uniform_faults(mesh, fault_count, rng, forbidden={mesh.center})
+    return mesh, faults, rng
+
+
+def _size(config: Any, full: int, quick: int) -> int:
+    return quick if getattr(config, "quick", False) else full
+
+
+def builtin_registry() -> BenchRegistry:
+    """A fresh registry holding every built-in workload."""
+    registry = BenchRegistry()
+
+    # -- micro: one substrate operation per run -----------------------
+    def esl_setup(config):
+        from repro.faults.blocks import build_faulty_blocks
+
+        side = _size(config, 120, 64)
+        mesh, faults, _ = _scenario(side, side * side // 200, config.seed)
+        return mesh, build_faulty_blocks(mesh, faults).unusable
+
+    @registry.register(
+        "micro.esl_compute", setup=esl_setup,
+        description="full ESL grid from the blocked-node grid (vectorised scans)",
+    )
+    def run_esl(state):
+        from repro.core.safety import compute_safety_levels
+
+        mesh, blocked = state
+        return compute_safety_levels(mesh, blocked)
+
+    def faults_setup(config):
+        side = _size(config, 120, 64)
+        mesh, faults, _ = _scenario(side, side * side // 200, config.seed)
+        return mesh, faults
+
+    @registry.register(
+        "micro.block_formation", setup=faults_setup,
+        description="Definition 1 fixpoint + component extraction",
+    )
+    def run_blocks(state):
+        from repro.faults.blocks import build_faulty_blocks
+
+        mesh, faults = state
+        return build_faulty_blocks(mesh, faults)
+
+    @registry.register(
+        "micro.mcc_formation", setup=faults_setup,
+        description="Definition 2 labelling (type one) + component extraction",
+    )
+    def run_mccs(state):
+        from repro.faults.mcc import MCCType, build_mccs
+
+        mesh, faults = state
+        return build_mccs(mesh, faults, MCCType.TYPE_ONE)
+
+    def route_setup(config):
+        from repro.core.boundaries import BoundaryMap
+        from repro.core.conditions import is_safe
+        from repro.core.routing import WuRouter
+        from repro.core.safety import compute_safety_levels
+        from repro.faults.blocks import build_faulty_blocks
+
+        side = _size(config, 120, 64)
+        mesh, faults, _ = _scenario(side, side * side // 250, config.seed)
+        blocks = build_faulty_blocks(mesh, faults)
+        levels = compute_safety_levels(mesh, blocks.unusable)
+        router = WuRouter(mesh, blocks, boundary_map=BoundaryMap.for_blocks(blocks))
+        source = mesh.center
+        dest = next(
+            (side - 1 - i, side - 1 - i)
+            for i in range(side // 2)
+            if not blocks.unusable[(side - 1 - i, side - 1 - i)]
+            and is_safe(levels, source, (side - 1 - i, side - 1 - i))
+        )
+        router.route(source, dest)  # warm the canonical boundary cache
+        return router, source, dest
+
+    @registry.register(
+        "micro.wu_single_route", setup=route_setup,
+        description="one long safe-pair route under Wu's protocol",
+    )
+    def run_route(state):
+        router, source, dest = state
+        return router.route(source, dest)
+
+    # -- macro: figure-scale sweeps and batches -----------------------
+    @registry.register(
+        "macro.fig9_sweep", kind="macro",
+        description="Figure 9 condition sweep (Extension 1 vs optimal) at bench scale",
+        repeats=3, quick_repeats=1,
+    )
+    def run_fig9(state):
+        from repro.experiments import ExperimentConfig
+        from repro.experiments.figures import fig9_extension1
+
+        config = state  # BenchConfig threaded through (no setup)
+        scale = (32, 2, 5) if config.quick else (48, 3, 8)
+        return fig9_extension1(
+            ExperimentConfig.scaled(*scale, seed=config.seed)
+        )
+
+    @registry.register(
+        "macro.protocol_formation", kind="macro",
+        description="distributed block formation + ESL propagation on one scenario",
+        repeats=3, quick_repeats=1,
+    )
+    def run_protocols(state):
+        from repro.faults.blocks import build_faulty_blocks
+        from repro.simulator.protocols import (
+            run_block_formation,
+            run_safety_propagation,
+        )
+
+        config = state
+        side = _size(config, 32, 20)
+        mesh, faults, _ = _scenario(side, side * side // 50, config.seed)
+        blocks = build_faulty_blocks(mesh, faults)
+        run_block_formation(mesh, faults)
+        return run_safety_propagation(mesh, blocks.unusable)
+
+    def batch_setup(config):
+        from repro.core.safety import compute_safety_levels
+        from repro.faults.blocks import build_faulty_blocks
+
+        side = _size(config, 64, 40)
+        mesh, faults, rng = _scenario(side, side * side // 100, config.seed)
+        blocks = build_faulty_blocks(mesh, faults)
+        levels = compute_safety_levels(mesh, blocks.unusable)
+        free = [c for c in mesh.nodes() if not blocks.unusable[c]]
+        count = 30 if config.quick else 120
+        pairs = []
+        while len(pairs) < count:
+            src = free[int(rng.integers(len(free)))]
+            dst = free[int(rng.integers(len(free)))]
+            if src != dst:
+                pairs.append((src, dst))
+        return mesh, blocks, levels, pairs
+
+    @registry.register(
+        "macro.route_batch", kind="macro", setup=batch_setup,
+        description="a batch of random routes through the decision cascade",
+        repeats=3, quick_repeats=1,
+    )
+    def run_batch(state):
+        from repro.core.conditions import DecisionKind
+        from repro.core.extensions import extension1_decision
+        from repro.core.routing import WuRouter, route_with_decision
+        from repro.routing.detour import DetourRouter
+        from repro.routing.router import RoutingError
+
+        mesh, blocks, levels, pairs = state
+        blocked = blocks.unusable
+        router = WuRouter(mesh, blocks)
+        fallback = DetourRouter(mesh, blocks)
+        delivered = 0
+        for src, dst in pairs:
+            decision = extension1_decision(mesh, levels, blocked, src, dst)
+            try:
+                if decision.kind is DecisionKind.UNSAFE:
+                    fallback.route(src, dst)
+                else:
+                    route_with_decision(router, decision, blocked=blocked)
+                delivered += 1
+            except RoutingError:
+                pass
+        return delivered
+
+    return registry

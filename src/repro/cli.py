@@ -8,8 +8,11 @@ Subcommands cover the library's workflows:
 - ``trace``     hop-by-hop decision log: which safe condition / extension
   justified the route, and the rule behind every forwarding step;
 - ``stats``     aggregate observability metrics (routes, protocol messages,
-  timing spans) for one scenario, as a table or JSON;
-- ``protocols`` run the distributed information protocols and report cost.
+  timing spans) for one scenario, as a table, JSON, or Prometheus text
+  (``--prom``), optionally with profiling (``--profile``);
+- ``protocols`` run the distributed information protocols and report cost;
+- ``bench``     run the benchmark registry, write ``BENCH_<n>.json`` at the
+  repo root, and optionally gate against a baseline (``--compare``).
 """
 
 from __future__ import annotations
@@ -84,8 +87,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--json", action="store_true", help="emit the snapshot as JSON")
     stats.add_argument(
+        "--prom", action="store_true",
+        help="emit the snapshot in Prometheus text exposition format",
+    )
+    stats.add_argument(
+        "--profile", action="store_true",
+        help="profile the run (hot-path counters + per-section cProfile)",
+    )
+    stats.add_argument(
         "--jsonl", type=pathlib.Path, help="also dump the raw trace events as JSONL"
     )
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark registry and write BENCH_<n>.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="CI-smoke scale (smaller, fewer repeats)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, help="override the per-workload timed repeats"
+    )
+    bench.add_argument(
+        "--only", nargs="+", metavar="PATTERN",
+        help="run only workloads matching these shell patterns (e.g. 'micro.*')",
+    )
+    bench.add_argument("--list", action="store_true", help="list workloads and exit")
+    bench.add_argument(
+        "--bench-dir", type=pathlib.Path, default=pathlib.Path("benchmarks"),
+        help="directory scanned for bench_*.py workload hooks (default: benchmarks)",
+    )
+    bench.add_argument(
+        "--out", type=pathlib.Path,
+        help="result path (default: next free BENCH_<n>.json in the cwd)",
+    )
+    bench.add_argument(
+        "--no-write", action="store_true", help="run without writing a result file"
+    )
+    bench.add_argument(
+        "--compare", type=pathlib.Path, metavar="BASELINE",
+        help="gate this run against a previous BENCH_*.json; non-zero exit on regression",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="relative p50 wall-time tolerance for --compare (default 0.15)",
+    )
+    bench.add_argument("--seed", type=int, default=2002, help="workload seed")
 
     protocols = sub.add_parser("protocols", help="distributed info-formation costs")
     _common_scenario_args(protocols)
@@ -394,6 +440,7 @@ def _cmd_stats(args, out: Callable[[str], None]) -> int:
     from repro.core.routing import WuRouter, route_with_decision
     from repro.core.safety import compute_safety_levels
     from repro.obs import JsonlSink, MetricsSink, Tracer, use_tracer
+    from repro.obs.prof import NULL_PROFILER, Profiler, use_profiler
     from repro.routing.detour import DetourRouter
     from repro.routing.router import RoutingError
     from repro.simulator.protocols import (
@@ -410,41 +457,94 @@ def _cmd_stats(args, out: Callable[[str], None]) -> int:
     if args.jsonl:
         sinks.append(JsonlSink(args.jsonl))
     tracer = Tracer(*sinks)
+    profiler = Profiler(detailed=True) if args.profile else NULL_PROFILER
     free = [coord for coord in mesh.nodes() if not blocked[coord]]
     try:
-        with use_tracer(tracer):
-            levels = compute_safety_levels(mesh, blocked)
-            run_block_formation(mesh, scenario.faults)
-            run_safety_propagation(mesh, blocked)
-            run_boundary_distribution(mesh, blocks.rects(), blocked)
+        with use_tracer(tracer), use_profiler(profiler):
+            with profiler.section("stats.esl"):
+                levels = compute_safety_levels(mesh, blocked)
+            with profiler.section("stats.protocols"):
+                run_block_formation(mesh, scenario.faults)
+                run_safety_propagation(mesh, blocked)
+                run_boundary_distribution(mesh, blocks.rects(), blocked)
             router = WuRouter(mesh, blocks)
             fallback = DetourRouter(mesh, blocks)
-            for _ in range(args.routes):
-                src = free[int(rng.integers(len(free)))]
-                dst = free[int(rng.integers(len(free)))]
-                if src == dst:
-                    continue
-                decision = extension1_decision(mesh, levels, blocked, src, dst)
-                try:
-                    if decision.kind is DecisionKind.UNSAFE:
-                        fallback.route(src, dst)
-                    else:
-                        route_with_decision(router, decision, blocked=blocked)
-                except RoutingError:
-                    pass  # recorded by the tracer as a route_failed event
+            with profiler.section("stats.routing"):
+                for _ in range(args.routes):
+                    src = free[int(rng.integers(len(free)))]
+                    dst = free[int(rng.integers(len(free)))]
+                    if src == dst:
+                        continue
+                    decision = extension1_decision(mesh, levels, blocked, src, dst)
+                    try:
+                        if decision.kind is DecisionKind.UNSAFE:
+                            fallback.route(src, dst)
+                        else:
+                            route_with_decision(router, decision, blocked=blocked)
+                    except RoutingError:
+                        pass  # recorded by the tracer as a route_failed event
     finally:
         tracer.close()
 
-    if args.json:
-        out(json.dumps(metrics.snapshot(), indent=2))
+    profile = profiler.snapshot() if args.profile else None
+    if args.prom:
+        out(metrics.to_prometheus(profile=profile).rstrip("\n"))
+    elif args.json:
+        snapshot = metrics.snapshot()
+        if profile is not None:
+            snapshot["profile"] = profile
+        out(json.dumps(snapshot, indent=2))
     else:
         out(
             f"{mesh}: {scenario.num_faults} faults, {len(blocks)} blocks, "
             f"{args.routes} routes"
         )
         out(metrics.to_table())
+        if args.profile:
+            out(profiler.to_table())
     if args.jsonl:
         out(f"wrote {sinks[-1].events_written} events to {args.jsonl}")
+    return 0
+
+
+def _cmd_bench(args, out: Callable[[str], None]) -> int:
+    from repro.bench import (
+        BenchConfig,
+        builtin_registry,
+        compare_results,
+        next_bench_path,
+        run_benchmarks,
+    )
+    from repro.bench.runner import load_result, write_result
+
+    registry = builtin_registry()
+    for warning in registry.load_directory(args.bench_dir):
+        out(f"warning: {warning}")
+    if args.list:
+        width = max(len(name) for name in registry.names())
+        for workload in registry.select(None):
+            out(f"{workload.name:<{width}}  [{workload.kind}]  {workload.description}")
+        return 0
+
+    workloads = registry.select(args.only)
+    config = BenchConfig(quick=args.quick, repeats=args.repeats, seed=args.seed)
+    result = run_benchmarks(workloads, config, progress=out)
+    if not args.no_write:
+        path = args.out if args.out is not None else next_bench_path()
+        write_result(result, path)
+        out(f"wrote {path}")
+
+    if args.compare:
+        baseline = load_result(args.compare)
+        lines, regressed = compare_results(result, baseline, tolerance=args.tolerance)
+        out(f"compare vs {args.compare}:")
+        for line in lines:
+            out(line)
+        if regressed:
+            out(f"FAIL: {len(regressed)} workload(s) regressed beyond "
+                f"tolerance {args.tolerance:g}: {', '.join(regressed)}")
+            return 1
+        out("compare: ok")
     return 0
 
 
@@ -510,6 +610,7 @@ _COMMANDS = {
     "route": _cmd_route,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "bench": _cmd_bench,
     "protocols": _cmd_protocols,
     "memory": _cmd_memory,
     "sweep": _cmd_sweep,

@@ -26,11 +26,35 @@ Typical use::
 
 ``python -m repro trace`` and ``python -m repro stats`` expose the same
 machinery from the command line.
+
+On top of tracing sit the performance-observatory pieces:
+
+- :mod:`repro.obs.prof` -- hot-path counters and span-scoped
+  cProfile / ``perf_counter_ns`` profiling (``repro stats --profile``);
+- :mod:`repro.obs.prometheus` -- Prometheus text exposition of any
+  metrics snapshot (``repro stats --prom``);
+- every :class:`~repro.obs.metrics.Histogram` carries deterministic
+  p50/p95/p99 percentiles from a bounded, seeded reservoir.
 """
 
 from repro.obs.events import EVENT_KINDS, TraceEvent, jsonable
 from repro.obs.metrics import Histogram, MetricsSink
-from repro.obs.sinks import JsonlSink, RingBufferSink, Sink, read_jsonl
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    get_profiler,
+    set_profiler,
+    use_profiler,
+)
+from repro.obs.prometheus import render_prometheus
+from repro.obs.sinks import (
+    JsonlDecodeError,
+    JsonlSink,
+    RingBufferSink,
+    Sink,
+    read_jsonl,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -43,17 +67,25 @@ from repro.obs.tracer import (
 __all__ = [
     "EVENT_KINDS",
     "Histogram",
+    "JsonlDecodeError",
     "JsonlSink",
     "MetricsSink",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
+    "Profiler",
     "RingBufferSink",
     "Sink",
     "TraceEvent",
     "Tracer",
+    "get_profiler",
     "get_tracer",
     "jsonable",
     "read_jsonl",
+    "render_prometheus",
+    "set_profiler",
     "set_tracer",
+    "use_profiler",
     "use_tracer",
 ]

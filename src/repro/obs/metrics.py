@@ -17,29 +17,68 @@ is built from, online and without buffering events:
 - the latest engine drain snapshot (``engine_run``: events processed,
   pending queue, simulated time).
 
+Every :class:`Histogram` keeps a bounded, deterministically-sampled
+reservoir alongside its running aggregates, so every summary carries
+p50/p95/p99 tail statistics -- the quantities the paper's worst-case
+overhead discussion (and any regression gate) actually cares about.
+
 ``snapshot()`` returns the whole aggregate as a JSON-ready dict;
-``to_table()`` renders it for terminals (``repro stats``).
+``to_table()`` renders it for terminals (``repro stats``);
+``to_prometheus()`` renders it in the Prometheus text exposition format
+(``repro stats --prom``).
 """
 
 from __future__ import annotations
 
 import collections
 import io
+import random
 from typing import Any
 
 from repro.obs.events import TraceEvent, jsonable
 
+#: Reservoir entries kept per histogram; below this every percentile is
+#: exact, above it the reservoir is a deterministic uniform sample.
+DEFAULT_RESERVOIR_SIZE = 4096
+
+#: Distinct sim-time ticks tracked by :class:`MetricsSink` before further
+#: *new* ticks are folded into the overflow counter (satellite: unbounded
+#: per-tick Counters leaked memory on long simulator runs).
+DEFAULT_TICK_CAP = 4096
+
+#: The quantiles every summary reports.
+SUMMARY_QUANTILES = (50.0, 95.0, 99.0)
+
 
 class Histogram:
-    """Streaming summary of one numeric quantity (count/total/min/max)."""
+    """Streaming summary of one numeric quantity with tail percentiles.
 
-    __slots__ = ("count", "total", "min", "max")
+    Running aggregates (count/total/min/max) are exact.  Percentiles come
+    from a bounded reservoir filled by Vitter's algorithm R with a
+    *seeded* ``random.Random``, so two runs observing the same sequence
+    report identical percentiles -- determinism the trace CLI and the
+    ``repro bench --compare`` gate rely on.  While ``count`` is within the
+    reservoir capacity the percentiles are exact, not sampled.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("count", "total", "min", "max", "_capacity", "_reservoir",
+                 "_rng", "_sorted")
+
+    def __init__(
+        self,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+        seed: int = 2002,
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._capacity = reservoir_size
+        self._reservoir: list[float] = []
+        self._rng = random.Random(seed)
+        self._sorted: list[float] | None = None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -47,28 +86,65 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(value)
+            self._sorted = None
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._reservoir[slot] = value
+                self._sorted = None
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> dict[str, float]:
-        return {
+    def percentile(self, q: float) -> float | None:
+        """The q-th percentile (``0 <= q <= 100``) of the retained sample,
+        with linear interpolation between ranks; None when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if not self._reservoir:
+            return None
+        if self._sorted is None:
+            self._sorted = sorted(self._reservoir)
+        data = self._sorted
+        rank = (q / 100.0) * (len(data) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(data) - 1)
+        fraction = rank - lower
+        return data[lower] + (data[upper] - data[lower]) * fraction
+
+    def summary(self) -> dict[str, float | None]:
+        """JSON-ready aggregate.  ``min``/``max`` and the percentiles are
+        None (JSON null) when nothing was observed, so an empty histogram
+        is distinguishable from one that observed zeros."""
+        summary: dict[str, float | None] = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
-            "min": self.min if self.min is not None else 0.0,
-            "max": self.max if self.max is not None else 0.0,
+            "min": self.min,
+            "max": self.max,
         }
+        for q in SUMMARY_QUANTILES:
+            summary[f"p{q:g}"] = self.percentile(q)
+        return summary
 
     def __repr__(self) -> str:
         return f"Histogram(count={self.count}, mean={self.mean:.3g})"
 
 
 class MetricsSink:
-    """Fold the event stream into counters and histograms."""
+    """Fold the event stream into counters and histograms.
 
-    def __init__(self) -> None:
+    ``tick_cap`` bounds the number of *distinct* sim-time ticks tracked for
+    the messages-per-tick histogram; messages on later, never-seen ticks
+    are tallied in :attr:`tick_overflow` instead of growing the map.
+    """
+
+    def __init__(self, tick_cap: int = DEFAULT_TICK_CAP) -> None:
+        if tick_cap < 1:
+            raise ValueError("tick_cap must be >= 1")
         self.event_counts: collections.Counter[str] = collections.Counter()
         self.message_counts: collections.Counter[str] = collections.Counter()
         self.decision_counts: collections.Counter[str] = collections.Counter()
@@ -80,6 +156,8 @@ class MetricsSink:
         self.routes_minimal = 0
         self.routes_failed = 0
         self.engine: dict[str, Any] = {}
+        self.tick_cap = tick_cap
+        self.tick_overflow = 0
         self._messages_per_tick: collections.Counter[int] = collections.Counter()
 
     # ------------------------------------------------------------------
@@ -91,7 +169,11 @@ class MetricsSink:
             if "queue" in data:
                 self.queue_depth.observe(data["queue"])
             if "time" in data:
-                self._messages_per_tick[int(data["time"])] += 1
+                tick = int(data["time"])
+                if tick in self._messages_per_tick or len(self._messages_per_tick) < self.tick_cap:
+                    self._messages_per_tick[tick] += 1
+                else:
+                    self.tick_overflow += 1
         elif event.kind == "route_end":
             self.routes_delivered += 1
             self.hops_per_route.observe(data.get("hops", 0))
@@ -136,6 +218,7 @@ class MetricsSink:
                 "protocol": {
                     "queue_depth": self.queue_depth.summary(),
                     "messages_per_tick": self.messages_per_tick().summary(),
+                    "messages_per_tick_overflow": self.tick_overflow,
                 },
                 "spans": {
                     name: histogram.summary()
@@ -144,6 +227,16 @@ class MetricsSink:
                 "engine": self.engine,
             }
         )
+
+    def to_prometheus(self, profile: dict[str, Any] | None = None) -> str:
+        """The snapshot in Prometheus text exposition format.
+
+        ``profile`` optionally merges a :meth:`repro.obs.prof.Profiler.snapshot`
+        (hot counters, profiled sections) into the export.
+        """
+        from repro.obs.prometheus import render_prometheus
+
+        return render_prometheus(self.snapshot(), profile=profile)
 
     def to_table(self, with_timings: bool = True) -> str:
         """Aligned text rendering of the snapshot."""
@@ -156,6 +249,14 @@ class MetricsSink:
             width = max(len(label) for label, _ in rows)
             for label, value in rows:
                 out.write(f"  {label:<{width}}  {value}\n")
+
+        def tail(histogram: Histogram) -> str:
+            if not histogram.count:
+                return "n/a"
+            p95 = histogram.percentile(95.0)
+            assert p95 is not None and histogram.max is not None
+            return (f"mean {histogram.mean:.2f} p95 {p95:g} "
+                    f"max {histogram.max:g}")
 
         section(
             "events",
@@ -175,22 +276,18 @@ class MetricsSink:
                 ("minimal", str(self.routes_minimal)),
                 ("sub-minimal", str(self.routes_delivered - self.routes_minimal)),
                 ("failed", str(self.routes_failed)),
-                ("hops/route", f"mean {self.hops_per_route.mean:.2f} "
-                               f"max {self.hops_per_route.max or 0:g}"),
-                ("detours/route", f"mean {self.detours_per_route.mean:.2f} "
-                                  f"max {self.detours_per_route.max or 0:g}"),
+                ("hops/route", tail(self.hops_per_route)),
+                ("detours/route", tail(self.detours_per_route)),
             ]
             section("routes", rows)
         if self.queue_depth.count:
-            per_tick = self.messages_per_tick()
-            section(
-                "simulator",
-                [
-                    ("queue depth", f"mean {self.queue_depth.mean:.1f} "
-                                    f"max {self.queue_depth.max or 0:g}"),
-                    ("msgs/tick", f"mean {per_tick.mean:.1f} max {per_tick.max or 0:g}"),
-                ],
-            )
+            rows = [
+                ("queue depth", tail(self.queue_depth)),
+                ("msgs/tick", tail(self.messages_per_tick())),
+            ]
+            if self.tick_overflow:
+                rows.append(("tick overflow", str(self.tick_overflow)))
+            section("simulator", rows)
         if self.engine:
             section(
                 "engine",
@@ -202,7 +299,8 @@ class MetricsSink:
                 "spans",
                 [
                     (name, f"x{h.count}  total {h.total * 1e3:.2f}ms  "
-                           f"mean {h.mean * 1e3:.3f}ms")
+                           f"mean {h.mean * 1e3:.3f}ms  "
+                           f"p95 {(h.percentile(95.0) or 0.0) * 1e3:.3f}ms")
                     for name, h in sorted(self.span_durations.items())
                 ],
             )

@@ -55,7 +55,11 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Append events to a JSONL file (or any text stream)."""
+    """Append events to a JSONL file (or any text stream).
+
+    Usable as a context manager: ``with JsonlSink(path) as sink: ...``
+    flushes (and, for sinks that opened their own file, closes) on exit.
+    """
 
     def __init__(self, target: str | pathlib.Path | io.TextIOBase):
         if isinstance(target, (str, pathlib.Path)):
@@ -77,10 +81,47 @@ class JsonlSink:
         if self._owns_stream:
             self._stream.close()
 
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class JsonlDecodeError(ValueError):
+    """A JSONL dump contained a line that is not a valid trace event.
+
+    Names the source and the 1-based line number so a corrupt multi-GB
+    trace is debuggable without bisecting it by hand.
+    """
+
+    def __init__(self, source: str, line_number: int, reason: str):
+        super().__init__(f"{source}, line {line_number}: {reason}")
+        self.source = source
+        self.line_number = line_number
+        self.reason = reason
+
+
+def _parse_lines(lines, source: str) -> list[TraceEvent]:
+    events = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as error:
+            raise JsonlDecodeError(source, number, str(error)) from error
+    return events
+
 
 def read_jsonl(source: str | pathlib.Path | io.TextIOBase) -> list[TraceEvent]:
-    """Load a JSONL event dump written by :class:`JsonlSink`."""
+    """Load a JSONL event dump written by :class:`JsonlSink`.
+
+    Raises :class:`JsonlDecodeError` (naming the offending line number) if
+    any non-blank line is not a valid serialized :class:`TraceEvent`.
+    """
     if isinstance(source, (str, pathlib.Path)):
-        with pathlib.Path(source).open("r", encoding="utf-8") as stream:
-            return [TraceEvent.from_dict(json.loads(line)) for line in stream if line.strip()]
-    return [TraceEvent.from_dict(json.loads(line)) for line in source if line.strip()]
+        path = pathlib.Path(source)
+        with path.open("r", encoding="utf-8") as stream:
+            return _parse_lines(stream, str(path))
+    return _parse_lines(source, getattr(source, "name", "<stream>"))

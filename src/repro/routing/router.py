@@ -23,6 +23,7 @@ import numpy as np
 from repro.mesh.geometry import Coord, Direction, manhattan_distance
 from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
+from repro.obs.prof import get_profiler
 from repro.routing.path import Path
 
 
@@ -106,6 +107,9 @@ class HopRouter(abc.ABC):
         )
         trc = self._tracer()
         tracing = trc.enabled
+        prof = get_profiler()
+        if prof.enabled:
+            prof.count("router.routes")
         if tracing:
             trc.emit(
                 "route_start",
@@ -141,6 +145,8 @@ class HopRouter(abc.ABC):
                     trc.emit("detour", at=current, to=nxt, dest=dest)
             trace.append(nxt)
             current = nxt
+        if prof.enabled:
+            prof.count("router.steps", len(trace) - 1)
         path = Path.of(trace)
         if tracing:
             trc.emit("route_end", source=source, dest=dest, hops=path.hops,

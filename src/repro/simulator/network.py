@@ -8,6 +8,7 @@ from typing import Callable, Iterable
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
+from repro.obs.prof import get_profiler
 from repro.simulator.channels import Channel
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
@@ -91,6 +92,9 @@ class MeshNetwork:
             trc.emit("protocol_msg", msg=kind, src=src, direction=direction.name,
                      time=self.engine.now, queue=self.engine.pending,
                      dropped=not channel.up)
+        prof = get_profiler()
+        if prof.enabled:
+            prof.count("sim.messages")
         channel.send(Message(src=src, dst=channel.dst, kind=kind, payload=payload))
         return True
 

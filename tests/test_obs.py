@@ -1,5 +1,6 @@
 """Tests for the observability layer (repro.obs) and its integration."""
 
+import io
 import json
 
 import numpy as np
@@ -14,6 +15,7 @@ from repro.faults.injection import generate_scenario
 from repro.mesh.topology import Mesh2D
 from repro.obs import (
     EVENT_KINDS,
+    JsonlDecodeError,
     JsonlSink,
     MetricsSink,
     NULL_TRACER,
@@ -119,6 +121,57 @@ class TestSinks:
         # Round trip is exact at the canonical-dict level.
         original = [e.to_dict() for e in [*read_jsonl(target)]]
         assert [e.to_dict() for e in events] == original
+
+    def test_jsonl_context_manager_closes(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        with JsonlSink(target) as sink:
+            Tracer(sink).emit("hop", at=(0, 0), to=(1, 0))
+        assert sink._stream.closed
+        assert [e.kind for e in read_jsonl(target)] == ["hop"]
+
+    def test_jsonl_round_trips_non_ascii_and_nested_payloads(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        payload = {
+            "note": "ésumé — ブロック ✓",
+            "nested": {"rect": {"min": [0, 0], "max": [3, 4]}, "tags": ["a", "ü"]},
+        }
+        with JsonlSink(target) as sink:
+            Tracer(sink).emit("block_hit", **payload)
+        event = read_jsonl(target)[0]
+        assert event.data["note"] == payload["note"]
+        assert event.data["nested"] == payload["nested"]
+
+    def test_read_jsonl_names_the_offending_line(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        good = '{"kind": "hop", "seq": 0, "data": {}}'
+        target.write_text(good + "\n\n" + "{not json\n" + good + "\n")
+        with pytest.raises(JsonlDecodeError) as excinfo:
+            read_jsonl(target)
+        assert excinfo.value.line_number == 3
+        assert excinfo.value.source == str(target)
+        assert "line 3" in str(excinfo.value)
+
+    def test_read_jsonl_rejects_wrong_shape_with_line(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text('{"kind": "hop", "seq": 0, "data": {}}\n{"seq": 1}\n')
+        with pytest.raises(JsonlDecodeError) as excinfo:
+            read_jsonl(target)
+        assert excinfo.value.line_number == 2
+
+    def test_read_jsonl_stream_source_named(self):
+        stream = io.StringIO("{broken\n")
+        with pytest.raises(JsonlDecodeError) as excinfo:
+            read_jsonl(stream)
+        assert excinfo.value.source == "<stream>"
+        assert excinfo.value.line_number == 1
+
+    def test_jsonl_does_not_close_borrowed_stream(self):
+        stream = io.StringIO()
+        with JsonlSink(stream) as sink:
+            Tracer(sink).emit("hop", at=(0, 0), to=(1, 0))
+        assert not stream.closed
+        stream.seek(0)
+        assert len(read_jsonl(stream)) == 1
 
     def test_multiple_sinks_see_every_event(self):
         ring, metrics = RingBufferSink(), MetricsSink()

@@ -1,0 +1,141 @@
+"""Profiling hooks: hot counters, sections, cProfile capture, null default."""
+
+import numpy as np
+import pytest
+
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import uniform_faults
+from repro.faults.mcc import MCCType, build_mccs
+from repro.core.safety import compute_safety_levels
+from repro.mesh.topology import Mesh2D
+from repro.obs.prof import (
+    HOT_COUNTER_NAMES,
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    get_profiler,
+    set_profiler,
+    use_profiler,
+)
+from repro.routing.router import GreedyAdaptiveRouter
+
+
+@pytest.fixture
+def faulty_mesh():
+    mesh = Mesh2D(12, 12)
+    faults = uniform_faults(mesh, 4, np.random.default_rng(5))
+    return mesh, faults
+
+
+class TestHotCounters:
+    def test_count_accumulates(self):
+        prof = Profiler()
+        prof.count("router.steps")
+        prof.count("router.steps", 4)
+        assert prof.hot["router.steps"] == 5
+
+    def test_router_bumps_route_and_step_counters(self):
+        mesh = Mesh2D(12, 12)
+        router = GreedyAdaptiveRouter(mesh, np.zeros((12, 12), dtype=bool))
+        with use_profiler(Profiler()) as prof:
+            path = router.route((0, 0), (10, 10))
+        assert prof.hot["router.routes"] == 1
+        assert prof.hot["router.steps"] == len(path) - 1
+
+    def test_substrate_builders_bump_counters(self, faulty_mesh):
+        mesh, faults = faulty_mesh
+        with use_profiler(Profiler()) as prof:
+            blocks = build_faulty_blocks(mesh, faults)
+            build_mccs(mesh, faults, MCCType.TYPE_ONE)
+            compute_safety_levels(mesh, blocks.unusable)
+        assert prof.hot["blocks.build"] == 1
+        assert prof.hot["mcc.build"] == 1
+        assert prof.hot["esl.recompute"] == 1
+
+    def test_documented_names_cover_producers(self):
+        # the instrumented call sites only use documented counter names
+        assert {
+            "router.routes", "router.steps", "esl.recompute",
+            "blocks.build", "mcc.build", "sim.messages",
+        } <= HOT_COUNTER_NAMES
+
+
+class TestSections:
+    def test_section_times_land_in_histogram(self):
+        prof = Profiler()
+        for _ in range(3):
+            with prof.section("work"):
+                sum(range(1000))
+        histogram = prof.sections["work"]
+        assert histogram.count == 3
+        assert histogram.min > 0  # perf_counter_ns ticks
+
+    def test_snapshot_shape(self):
+        prof = Profiler()
+        prof.count("router.steps", 7)
+        with prof.section("work"):
+            pass
+        snapshot = prof.snapshot()
+        assert snapshot["hot_counters"] == {"router.steps": 7}
+        assert snapshot["sections_ns"]["work"]["count"] == 1
+        assert snapshot["top_functions"] == []  # not detailed
+
+    def test_detailed_names_hot_frames(self):
+        prof = Profiler(detailed=True)
+        with prof.section("outer"):
+            build_faulty_blocks(Mesh2D(8, 8), {(2, 2)})
+        rows = prof.top_functions(limit=5)
+        assert rows, "detailed section should capture frames"
+        assert all("function" in row and "cumtime_s" in row for row in rows)
+        # sorted by cumulative time, hottest first
+        cum = [row["cumtime_s"] for row in rows]
+        assert cum == sorted(cum, reverse=True)
+
+    def test_nested_sections_time_independently(self):
+        prof = Profiler(detailed=True)
+        with prof.section("outer"):
+            with prof.section("inner"):
+                pass
+        assert prof.sections["outer"].count == 1
+        assert prof.sections["inner"].count == 1
+        # only the outermost section runs cProfile
+        assert len(prof._profiles) == 1
+
+    def test_to_table_mentions_everything(self):
+        prof = Profiler()
+        prof.count("sim.messages", 3)
+        with prof.section("stats.routing"):
+            pass
+        table = prof.to_table()
+        assert "profiled sections" in table
+        assert "stats.routing" in table
+        assert "hot counters" in table
+        assert "sim.messages" in table
+
+
+class TestInstallation:
+    def test_null_profiler_is_default_and_inert(self):
+        assert get_profiler() is NULL_PROFILER
+        assert NULL_PROFILER.enabled is False
+        NULL_PROFILER.count("router.steps", 100)
+        with NULL_PROFILER.section("ignored"):
+            pass
+        assert not NULL_PROFILER.hot
+        assert not NULL_PROFILER.sections
+
+    def test_use_profiler_scopes_and_restores(self):
+        prof = Profiler()
+        with use_profiler(prof):
+            assert get_profiler() is prof
+        assert get_profiler() is NULL_PROFILER
+
+    def test_set_profiler_none_restores_null(self):
+        previous = set_profiler(Profiler())
+        assert previous is NULL_PROFILER
+        set_profiler(None)
+        assert get_profiler() is NULL_PROFILER
+
+    def test_uninstalled_producers_pay_nothing(self, faulty_mesh):
+        mesh, faults = faulty_mesh
+        build_faulty_blocks(mesh, faults)  # must not raise, nothing recorded
+        assert isinstance(get_profiler(), NullProfiler)

@@ -1,0 +1,154 @@
+"""Prometheus text exposition: format validity and stable metric names."""
+
+import re
+
+import pytest
+
+from repro.obs import MetricsSink, Tracer
+from repro.obs.metrics import Histogram
+from repro.obs.prof import Profiler
+from repro.obs.prometheus import render_prometheus
+
+# One sample line of the 0.0.4 text format: name{labels} value
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" -?[0-9.eE+-]+(\.[0-9]+)?$"
+)
+_HELP = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+_TYPE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$")
+
+
+def _populated_sink() -> MetricsSink:
+    sink = MetricsSink()
+    tracer = Tracer(sink)
+    tracer.emit("route_start", router="WuRouter", source=(0, 0), dest=(5, 5))
+    tracer.emit("route_end", source=(0, 0), dest=(5, 5), hops=10, minimal=True,
+                detours=0)
+    tracer.emit("extension_fired", decision="case_1", at=(1, 1))
+    for tick in range(4):
+        tracer.emit("protocol_msg", msg="esl", time=tick, queue=tick + 1)
+    tracer.emit("engine_run", now=4.0, pending=0, events_processed=9)
+    with tracer.span("experiment"):
+        pass
+    return sink
+
+
+def _parse(text: str) -> list[str]:
+    """Validate every line against the exposition format; return samples."""
+    assert text.endswith("\n")
+    samples = []
+    for line in text.rstrip("\n").split("\n"):
+        if line.startswith("# HELP"):
+            assert _HELP.match(line), line
+        elif line.startswith("# TYPE"):
+            assert _TYPE.match(line), line
+        else:
+            assert _SAMPLE.match(line), line
+            samples.append(line)
+    return samples
+
+
+class TestFormat:
+    def test_every_line_valid(self):
+        _parse(render_prometheus(_populated_sink().snapshot()))
+
+    def test_every_sample_has_help_and_type(self):
+        text = render_prometheus(_populated_sink().snapshot())
+        declared = {m.group(1) for m in re.finditer(r"# TYPE (\S+)", text)}
+        for sample in _parse(text):
+            name = re.match(r"[a-zA-Z0-9_:]+", sample).group(0)
+            base = re.sub(r"_(sum|count)$", "", name)
+            assert name in declared or base in declared, sample
+
+    def test_summary_carries_quantiles_sum_count(self):
+        text = render_prometheus(_populated_sink().snapshot())
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'repro_route_hops{{quantile="{quantile}"}}' in text
+        assert "repro_route_hops_sum 10" in text
+        assert "repro_route_hops_count 1" in text
+
+    def test_empty_summary_omits_quantiles_keeps_count(self):
+        sink = MetricsSink()
+        Tracer(sink).emit("route_failed", at=(0, 0), reason="stuck")
+        text = render_prometheus(sink.snapshot())
+        assert 'repro_route_hops{quantile' not in text
+        assert "repro_route_hops_count 0" in text
+
+    def test_label_escaping(self):
+        sink = MetricsSink()
+        Tracer(sink).emit("protocol_msg", msg='odd"name\\x', time=0, queue=0)
+        text = render_prometheus(sink.snapshot())
+        assert 'msg="odd\\"name\\\\x"' in text
+
+    def test_empty_snapshot_renders_nothing_but_stays_valid(self):
+        text = render_prometheus(MetricsSink().snapshot())
+        _parse(text)
+
+
+class TestStableNames:
+    """Metric names are API: dashboards depend on them."""
+
+    def test_core_metric_names(self):
+        text = render_prometheus(_populated_sink().snapshot())
+        for name in (
+            "repro_events_total",
+            "repro_protocol_messages_total",
+            "repro_decisions_total",
+            "repro_routes_total",
+            "repro_route_hops",
+            "repro_route_detours",
+            "repro_queue_depth",
+            "repro_messages_per_tick",
+            "repro_messages_per_tick_overflow_total",
+            "repro_span_duration_seconds",
+            "repro_engine_now",
+            "repro_engine_pending",
+            "repro_engine_events_processed_total",
+        ):
+            assert f"# TYPE {name} " in text, name
+
+    def test_route_outcome_labels(self):
+        text = render_prometheus(_populated_sink().snapshot())
+        for outcome in ("delivered", "minimal", "sub_minimal", "failed"):
+            assert f'repro_routes_total{{outcome="{outcome}"}}' in text
+
+    def test_span_label(self):
+        text = render_prometheus(_populated_sink().snapshot())
+        assert 'repro_span_duration_seconds_count{span="experiment"} 1' in text
+
+    def test_custom_prefix(self):
+        text = render_prometheus(_populated_sink().snapshot(), prefix="mesh")
+        assert "# TYPE mesh_events_total counter" in text
+        assert "repro_" not in text
+
+
+class TestProfileExport:
+    def test_hot_counters_and_sections(self):
+        profiler = Profiler()
+        profiler.count("router.steps", 42)
+        with profiler.section("stats.routing"):
+            pass
+        text = render_prometheus(
+            _populated_sink().snapshot(), profile=profiler.snapshot()
+        )
+        _parse(text)
+        assert 'repro_hot_counter_total{name="router.steps"} 42' in text
+        assert "# TYPE repro_profile_section_seconds summary" in text
+        assert 'repro_profile_section_seconds_count{section="stats.routing"} 1' in text
+
+    def test_section_nanoseconds_scaled_to_seconds(self):
+        profiler = Profiler()
+        profiler.sections["fixed"] = h = Histogram()
+        h.observe(2_000_000_000)  # 2s in ns
+        text = render_prometheus({}, profile=profiler.snapshot())
+        match = re.search(
+            r'repro_profile_section_seconds_sum\{section="fixed"\} (\S+)', text
+        )
+        assert match and float(match.group(1)) == pytest.approx(2.0)
+
+    def test_no_profile_no_profile_metrics(self):
+        text = render_prometheus(_populated_sink().snapshot())
+        assert "repro_hot_counter_total" not in text
+        assert "repro_profile_section_seconds" not in text
