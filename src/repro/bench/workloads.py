@@ -123,6 +123,31 @@ def builtin_registry() -> BenchRegistry:
             ExperimentConfig.scaled(*scale, seed=config.seed)
         )
 
+    def _conditions_sweep(config: Any, workers: int):
+        from repro.experiments import ExperimentConfig
+        from repro.experiments.figures import fig9_extension1
+
+        scale = (32, 2, 5) if config.quick else (48, 3, 8)
+        return fig9_extension1(
+            ExperimentConfig.scaled(*scale, seed=config.seed), workers=workers
+        )
+
+    @registry.register(
+        "macro.conditions_serial", kind="macro",
+        description="condition sweep, run(workers=1): batched kernels + artifact cache",
+        repeats=3, quick_repeats=1,
+    )
+    def run_conditions_serial(state):
+        return _conditions_sweep(state, workers=1)
+
+    @registry.register(
+        "macro.conditions_parallel", kind="macro",
+        description="condition sweep, run(workers=2): process-pool pattern fan-out",
+        repeats=3, quick_repeats=1,
+    )
+    def run_conditions_parallel(state):
+        return _conditions_sweep(state, workers=2)
+
     @registry.register(
         "macro.protocol_formation", kind="macro",
         description="distributed block formation + ESL propagation on one scenario",

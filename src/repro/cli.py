@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--full", action="store_true", help="paper scale (200x200)")
     figures.add_argument("--plot", action="store_true", help="include ASCII plots")
     figures.add_argument("--csv", type=pathlib.Path, help="directory for CSV dumps")
+    figures.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the condition sweeps fig9-fig12 "
+        "(default 1; results are identical at any worker count)",
+    )
 
     scenario = sub.add_parser("scenario", help="render a random fault scenario")
     _common_scenario_args(scenario)
@@ -177,9 +182,14 @@ def _cmd_figures(args, out: Callable[[str], None]) -> int:
     }
     wanted = list(runners) if "all" in args.which else list(dict.fromkeys(args.which))
     config = ExperimentConfig.paper() if args.full else ExperimentConfig.quick()
+    if args.workers < 1:
+        out(f"error: --workers must be >= 1, got {args.workers}")
+        return 2
+    sharded = {"fig9", "fig10", "fig11", "fig12"}
     out(config.describe())
     for name in wanted:
-        series = runners[name](config, progress=lambda msg: out(f"  {msg}"))
+        kwargs = {"workers": args.workers} if name in sharded else {}
+        series = runners[name](config, progress=lambda msg: out(f"  {msg}"), **kwargs)
         out(series.render(with_plot=args.plot))
         if args.csv:
             args.csv.mkdir(parents=True, exist_ok=True)
@@ -535,7 +545,24 @@ def _cmd_bench(args, out: Callable[[str], None]) -> int:
         out(f"wrote {path}")
 
     if args.compare:
-        baseline = load_result(args.compare)
+        try:
+            baseline = load_result(args.compare)
+        except FileNotFoundError:
+            out(f"error: baseline {args.compare} does not exist "
+                "(pass an earlier BENCH_<n>.json, or drop --compare)")
+            return 2
+        except OSError as error:
+            out(f"error: cannot read baseline {args.compare}: {error}")
+            return 2
+        except ValueError as error:  # covers json.JSONDecodeError
+            out(f"error: baseline {args.compare} is not valid JSON: {error}")
+            return 2
+        if not isinstance(baseline, dict) or not isinstance(
+            baseline.get("workloads"), dict
+        ):
+            out(f"error: baseline {args.compare} is not a BENCH_<n>.json result "
+                "(missing the 'workloads' table)")
+            return 2
         lines, regressed = compare_results(result, baseline, tolerance=args.tolerance)
         out(f"compare vs {args.compare}:")
         for line in lines:

@@ -11,6 +11,8 @@ Layering (bottom-up):
 - :mod:`repro.core.segments` -- Extension 2's region/segment machinery.
 - :mod:`repro.core.pivots` -- Extension 3's pivot-selection schemes.
 - :mod:`repro.core.extensions` -- Theorems 1a/1b/1c as decision procedures.
+- :mod:`repro.core.batched` -- vectorised (batch-of-destinations) kernels
+  for Definition 3 and the extensions, used by the experiment sweeps.
 - :mod:`repro.core.strategies` -- the paper's strategies 1-4 (combinations).
 - :mod:`repro.core.boundaries` -- faulty-block boundary lines L1-L4 with
   joins, the information Wu's protocol routes by.
@@ -29,6 +31,12 @@ from repro.core.extensions import (
     extension1_decision,
     extension2_decision,
     extension3_decision,
+)
+from repro.core.batched import (
+    batch_extension1,
+    batch_extension2_from_segments,
+    batch_extension3,
+    batch_is_safe,
 )
 from repro.core.segments import RegionSegments, build_axis_segments
 from repro.core.pivots import latin_pivots, random_pivots, recursive_center_pivots
@@ -49,6 +57,10 @@ __all__ = [
     "StrategyConfig",
     "UNBOUNDED",
     "WuRouter",
+    "batch_extension1",
+    "batch_extension2_from_segments",
+    "batch_extension3",
+    "batch_is_safe",
     "build_axis_segments",
     "compute_safety_levels",
     "extension1_decision",

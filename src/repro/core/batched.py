@@ -1,0 +1,198 @@
+"""Batched (numpy) safe-condition kernels for Definition 3 and Extensions 1-3.
+
+The scalar predicates in :mod:`repro.core.conditions` and
+:mod:`repro.core.extensions` decide one destination at a time; the paper's
+evaluation sweeps thousands of destinations against the *same* fault
+pattern, so the per-destination Python overhead dominates every figure
+sweep.  Each kernel below takes a ``(k, 2)`` integer array of destinations
+and returns a boolean mask of length ``k`` -- entry ``i`` is exactly what
+the corresponding scalar decision procedure reports for ``dests[i]``
+(``ensures_minimal`` / ``ensures_sub_minimal`` as noted per kernel).
+
+The kernels answer only "is a path ensured?"; they deliberately do not
+report the helper node, because the batch consumers (the condition
+experiments) count successes and never route.  Callers that need the
+``via`` node keep using the scalar procedures.
+
+Cross-validation: the property tests in ``tests/test_batched.py`` assert
+mask-vs-scalar agreement on random meshes, fault patterns, and
+destinations in all four quadrants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.safety import SafetyLevels
+from repro.core.segments import RegionSegments
+from repro.mesh.geometry import Coord, Direction
+from repro.mesh.topology import Mesh2D
+
+__all__ = [
+    "batch_extension1",
+    "batch_extension2_from_segments",
+    "batch_extension3",
+    "batch_is_safe",
+]
+
+
+def _as_dest_array(dests: np.ndarray) -> np.ndarray:
+    arr = np.asarray(dests, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"dests must have shape (k, 2), got {arr.shape}")
+    return arr
+
+
+def _local_offsets(origin: Coord, dests: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-destination canonical-frame data relative to ``origin``.
+
+    Returns ``(dx, dy, xd, yd)`` where ``(dx, dy)`` are the signed global
+    offsets and ``(xd, yd)`` the local (quadrant-I) offsets.  The implied
+    frame reflects each axis independently per destination, exactly like
+    :meth:`repro.mesh.frames.Frame.for_pair`.
+    """
+    dx = dests[:, 0] - origin[0]
+    dy = dests[:, 1] - origin[1]
+    return dx, dy, np.abs(dx), np.abs(dy)
+
+
+def _local_esl(
+    levels: SafetyLevels, origin: Coord, dx: np.ndarray, dy: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``origin``'s clear distances toward each destination's quadrant.
+
+    The local-frame East entry is the global East distance when the
+    destination lies East-or-level of the origin and the global West
+    distance otherwise (``Frame.to_local_esl`` swaps E/W under an x flip);
+    the local North entry mirrors that for the y axis.
+    """
+    east = np.where(dx >= 0, int(levels.east[origin]), int(levels.west[origin]))
+    north = np.where(dy >= 0, int(levels.north[origin]), int(levels.south[origin]))
+    return east, north
+
+
+def _safe_from(levels: SafetyLevels, origin: Coord, dests: np.ndarray) -> np.ndarray:
+    dx, dy, xd, yd = _local_offsets(origin, dests)
+    east, north = _local_esl(levels, origin, dx, dy)
+    return (xd <= east) & (yd <= north)
+
+
+def batch_is_safe(levels: SafetyLevels, source: Coord, dests: np.ndarray) -> np.ndarray:
+    """Definition 3 for a batch: ``mask[i] == is_safe(levels, source, dests[i])``."""
+    return _safe_from(levels, source, _as_dest_array(dests))
+
+
+def batch_extension1(
+    mesh: Mesh2D,
+    levels: SafetyLevels,
+    blocked: np.ndarray,
+    source: Coord,
+    dests: np.ndarray,
+    allow_sub_minimal: bool = True,
+) -> np.ndarray:
+    """Theorem 1a for a batch.
+
+    With ``allow_sub_minimal=False`` the mask equals the scalar decision's
+    ``ensures_minimal`` (source safe, or a safe *preferred* neighbour);
+    with the default it equals ``ensures_sub_minimal`` (any safe
+    neighbour counts).  Neighbours inside a faulty block are skipped.
+    """
+    dest_arr = _as_dest_array(dests)
+    ensured = _safe_from(levels, source, dest_arr)
+    dx = dest_arr[:, 0] - source[0]
+    dy = dest_arr[:, 1] - source[1]
+    for direction in Direction:
+        neighbor = direction.step(source)
+        if not mesh.in_bounds(neighbor) or blocked[neighbor]:
+            continue
+        if direction is Direction.EAST:
+            preferred = dx > 0
+        elif direction is Direction.WEST:
+            preferred = dx < 0
+        elif direction is Direction.NORTH:
+            preferred = dy > 0
+        else:
+            preferred = dy < 0
+        eligible = preferred if not allow_sub_minimal else np.ones_like(ensured)
+        if not eligible.any():
+            continue
+        ensured |= eligible & _safe_from(levels, neighbor, dest_arr)
+    return ensured
+
+
+def _segment_usable(
+    segments: RegionSegments, max_offsets: np.ndarray, required_levels: np.ndarray
+) -> np.ndarray:
+    """``mask[i]`` -- some sample has ``offset <= max_offsets[i]`` and
+    ``level >= required_levels[i]`` (the batched ``best_for`` existence)."""
+    if not segments.samples:
+        return np.zeros(max_offsets.shape, dtype=bool)
+    offsets = np.array([sample.offset for sample in segments.samples], dtype=np.int64)
+    levels = np.array([sample.level for sample in segments.samples], dtype=np.int64)
+    usable = (offsets[None, :] <= max_offsets[:, None]) & (
+        levels[None, :] >= required_levels[:, None]
+    )
+    return usable.any(axis=1)
+
+
+def batch_extension2_from_segments(
+    levels: SafetyLevels,
+    source: Coord,
+    dests: np.ndarray,
+    east_segments: RegionSegments,
+    north_segments: RegionSegments,
+) -> np.ndarray:
+    """Theorem 1b for a batch, against pre-built axis samples.
+
+    ``mask[i]`` equals ``extension2_decision_from_segments(...).ensures_minimal``
+    for ``dests[i]`` given the *same* segments.  As in the scalar version,
+    the samples must have been built for the source's canonical frame.
+    """
+    dest_arr = _as_dest_array(dests)
+    dx, dy, xd, yd = _local_offsets(source, dest_arr)
+    east, north = _local_esl(levels, source, dx, dy)
+    source_safe = (xd <= east) & (yd <= north)
+    x_axis = (xd <= east) & _segment_usable(east_segments, xd, yd)
+    y_axis = (yd <= north) & _segment_usable(north_segments, yd, xd)
+    return source_safe | x_axis | y_axis
+
+
+def batch_extension3(
+    mesh: Mesh2D,
+    levels: SafetyLevels,
+    blocked: np.ndarray,
+    source: Coord,
+    dests: np.ndarray,
+    pivots: list[Coord],
+) -> np.ndarray:
+    """Theorem 1c for a batch: ``mask[i]`` equals the scalar decision's
+    ``ensures_minimal`` for ``dests[i]`` under the same pivot list."""
+    dest_arr = _as_dest_array(dests)
+    dx, dy, xd, yd = _local_offsets(source, dest_arr)
+    east, north = _local_esl(levels, source, dx, dy)
+    ensured = (xd <= east) & (yd <= north)
+
+    usable = [p for p in pivots if mesh.in_bounds(p) and not blocked[p]]
+    if not usable:
+        return ensured
+
+    px = np.array([p[0] for p in usable], dtype=np.int64)
+    py = np.array([p[1] for p in usable], dtype=np.int64)
+    # Local pivot coordinates per (destination, pivot): the frame's axis
+    # reflections depend on the destination's quadrant.
+    sign_x = np.where(dx >= 0, 1, -1)[:, None]
+    sign_y = np.where(dy >= 0, 1, -1)[:, None]
+    xi = (px[None, :] - source[0]) * sign_x
+    yi = (py[None, :] - source[1]) * sign_y
+    # Pivot ESL entries, permuted into each destination's frame.
+    pivot_east = np.where(
+        dx[:, None] >= 0, levels.east[px, py][None, :], levels.west[px, py][None, :]
+    )
+    pivot_north = np.where(
+        dy[:, None] >= 0, levels.north[px, py][None, :], levels.south[px, py][None, :]
+    )
+    in_box = (xi >= 0) & (xi <= xd[:, None]) & (yi >= 0) & (yi <= yd[:, None])
+    source_reaches = (xi <= east[:, None]) & (yi <= north[:, None])
+    pivot_reaches = (xd[:, None] - xi <= pivot_east) & (yd[:, None] - yi <= pivot_north)
+    ensured |= (in_box & source_reaches & pivot_reaches).any(axis=1)
+    return ensured

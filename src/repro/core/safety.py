@@ -26,6 +26,7 @@ this module in the test-suite.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -83,14 +84,19 @@ class SafetyLevels:
             int(self.north[coord]),
         )
 
-    def level(self, coord: Coord, direction: Direction) -> int:
-        grid = {
+    @functools.cached_property
+    def _grid_by_direction(self) -> dict[Direction, np.ndarray]:
+        # Built once per instance: ``level`` sits on the router hot path and
+        # must not pay a dict construction per call.
+        return {
             Direction.EAST: self.east,
             Direction.SOUTH: self.south,
             Direction.WEST: self.west,
             Direction.NORTH: self.north,
-        }[direction]
-        return int(grid[coord])
+        }
+
+    def level(self, coord: Coord, direction: Direction) -> int:
+        return int(self._grid_by_direction[direction][coord])
 
 
 def compute_safety_levels(mesh: Mesh2D, blocked: np.ndarray) -> SafetyLevels:

@@ -5,6 +5,14 @@ are condition experiments built on :class:`~repro.experiments.runner.
 ConditionExperiment`.  Every function returns a
 :class:`~repro.experiments.report.FigureSeries` whose columns mirror the
 curves of the paper's plot.
+
+The condition figures accept ``workers``: the sweep shards its fault
+patterns over that many processes (see ``run(workers=N)`` in the runner)
+and produces a bit-identical series at any worker count.  Their metric
+lists are built by module-level *factories* (``fig9_metrics`` ...), which
+are picklable and therefore usable from worker processes; each metric
+carries both the scalar predicate and, where a vectorised kernel exists,
+the batched form from :mod:`repro.core.batched`.
 """
 
 from __future__ import annotations
@@ -19,6 +27,12 @@ from repro.analysis.affected_rows import (
     expected_affected_rows,
 )
 from repro.analysis.statistics import Estimate, mean_and_ci
+from repro.core.batched import (
+    batch_extension1,
+    batch_extension2_from_segments,
+    batch_extension3,
+    batch_is_safe,
+)
 from repro.core.conditions import is_safe
 from repro.core.extensions import (
     extension1_decision,
@@ -35,7 +49,7 @@ from repro.experiments.runner import (
     MetricSpec,
     TrialContext,
 )
-from repro.faults.coverage import minimal_path_exists
+from repro.faults.coverage import batch_minimal_path_exists, minimal_path_exists
 from repro.faults.injection import generate_scenario
 from repro.faults.mcc import MCCType
 from repro.mesh.geometry import Coord
@@ -44,7 +58,7 @@ Progress = Callable[[str], None] | None
 
 
 # ----------------------------------------------------------------------
-# Metric predicates shared by Figures 9-12
+# Metric predicates shared by Figures 9-12 (scalar + batched forms)
 # ----------------------------------------------------------------------
 
 
@@ -52,8 +66,18 @@ def _safe_source(ctx: TrialContext, dest: Coord) -> bool:
     return is_safe(ctx.levels, ctx.source, dest)
 
 
+def _safe_source_batch(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
+    return batch_is_safe(ctx.levels, ctx.source, dests)
+
+
 def _existence(ctx: TrialContext, dest: Coord) -> bool:
     return minimal_path_exists(ctx.blocked, ctx.source, dest)
+
+
+def _existence_batch(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
+    return batch_minimal_path_exists(
+        ctx.blocked, ctx.source, dests, maps=ctx.reachability_maps
+    )
 
 
 def _extension1_min(ctx: TrialContext, dest: Coord) -> bool:
@@ -63,11 +87,23 @@ def _extension1_min(ctx: TrialContext, dest: Coord) -> bool:
     return decision.ensures_minimal
 
 
+def _extension1_min_batch(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
+    return batch_extension1(
+        ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dests, allow_sub_minimal=False
+    )
+
+
 def _extension1_submin(ctx: TrialContext, dest: Coord) -> bool:
     decision = extension1_decision(
         ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dest, allow_sub_minimal=True
     )
     return decision.ensures_sub_minimal
+
+
+def _extension1_submin_batch(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
+    return batch_extension1(
+        ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dests, allow_sub_minimal=True
+    )
 
 
 def _extension2(size: int | None) -> Callable[[TrialContext, Coord], bool]:
@@ -79,12 +115,29 @@ def _extension2(size: int | None) -> Callable[[TrialContext, Coord], bool]:
     return metric
 
 
+def _extension2_batch(size: int | None) -> Callable[[TrialContext, np.ndarray], np.ndarray]:
+    def metric(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
+        east, north = ctx.segments(size)
+        return batch_extension2_from_segments(ctx.levels, ctx.source, dests, east, north)
+
+    return metric
+
+
 def _extension3(level: int) -> Callable[[TrialContext, Coord], bool]:
     def metric(ctx: TrialContext, dest: Coord) -> bool:
         decision = extension3_decision(
             ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dest, ctx.pivots_by_level[level]
         )
         return decision.ensures_minimal
+
+    return metric
+
+
+def _extension3_batch(level: int) -> Callable[[TrialContext, np.ndarray], np.ndarray]:
+    def metric(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
+        return batch_extension3(
+            ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dests, ctx.pivots_by_level[level]
+        )
 
     return metric
 
@@ -112,9 +165,48 @@ def _strategy(strategy: Strategy, config: ExperimentConfig) -> Callable[[TrialCo
     return metric
 
 
-def _both_models(name: str, fn: Callable[[TrialContext, Coord], bool], model: str) -> MetricSpec:
+def _strategy_batch(
+    strategy: Strategy, config: ExperimentConfig
+) -> Callable[[TrialContext, np.ndarray], np.ndarray]:
+    """Batched strategy mask: the OR of the used extensions' kernels.
+
+    Valid because with ``allow_sub_minimal=False`` (the experiment setting)
+    every non-UNSAFE decision a strategy can return ensures a minimal path,
+    so "first extension that fires" and "any extension fires" agree.  The
+    destinations come from the quadrant-I region, where Extension 2's
+    per-pair frame coincides with the segments' source frame.
+    """
+    segment_size = config.strategy_segment_size
+
+    def metric(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
+        ensured = np.zeros(len(dests), dtype=bool)
+        if strategy.uses_extension1:
+            ensured |= batch_extension1(
+                ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dests,
+                allow_sub_minimal=False,
+            )
+        if strategy.uses_extension2:
+            east, north = ctx.segments(segment_size)
+            ensured |= batch_extension2_from_segments(
+                ctx.levels, ctx.source, dests, east, north
+            )
+        if strategy.uses_extension3:
+            ensured |= batch_extension3(
+                ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dests, ctx.strategy_pivots
+            )
+        return ensured
+
+    return metric
+
+
+def _both_models(
+    name: str,
+    fn: Callable[[TrialContext, Coord], bool],
+    model: str,
+    batch_fn: Callable[[TrialContext, np.ndarray], np.ndarray] | None = None,
+) -> MetricSpec:
     suffix = "" if model == BLOCK_MODEL else "a"
-    return MetricSpec(name=f"{name}{suffix}", fn=fn, model=model)
+    return MetricSpec(name=f"{name}{suffix}", fn=fn, model=model, batch_fn=batch_fn)
 
 
 # ----------------------------------------------------------------------
@@ -190,66 +282,107 @@ def fig8_disabled_nodes(
 # ----------------------------------------------------------------------
 
 
+def fig9_metrics(config: ExperimentConfig) -> list[MetricSpec]:
+    """Figure 9's curves (picklable metrics factory)."""
+    metrics: list[MetricSpec] = []
+    for model in (BLOCK_MODEL, MCC_MODEL):
+        metrics += [
+            _both_models("safe_source", _safe_source, model, _safe_source_batch),
+            _both_models("ext1_min", _extension1_min, model, _extension1_min_batch),
+            _both_models("ext1_submin", _extension1_submin, model, _extension1_submin_batch),
+            _both_models("existence", _existence, model, _existence_batch),
+        ]
+    return metrics
+
+
 def fig9_extension1(
-    config: ExperimentConfig | None = None, progress: Progress = None
+    config: ExperimentConfig | None = None, progress: Progress = None, workers: int = 1
 ) -> FigureSeries:
     """Safe source, extension 1 (min), extension 1 (sub-min), and the
     optimal existence baseline, under both fault models (Figure 9 a+b)."""
     config = config or ExperimentConfig.from_environment()
+    experiment = ConditionExperiment(config, metrics_factory=fig9_metrics)
+    return experiment.run(
+        "fig9", "minimal/sub-minimal ensured: extension 1", progress, workers=workers
+    )
+
+
+def fig10_metrics(config: ExperimentConfig) -> list[MetricSpec]:
+    """Figure 10's curves (picklable metrics factory)."""
     metrics: list[MetricSpec] = []
     for model in (BLOCK_MODEL, MCC_MODEL):
-        metrics += [
-            _both_models("safe_source", _safe_source, model),
-            _both_models("ext1_min", _extension1_min, model),
-            _both_models("ext1_submin", _extension1_submin, model),
-            _both_models("existence", _existence, model),
-        ]
-    experiment = ConditionExperiment(config, metrics)
-    return experiment.run("fig9", "minimal/sub-minimal ensured: extension 1", progress)
+        metrics.append(_both_models("safe_source", _safe_source, model, _safe_source_batch))
+        for size in config.segment_sizes:
+            label = "max" if size is None else str(size)
+            metrics.append(
+                _both_models(
+                    f"ext2_{label}", _extension2(size), model, _extension2_batch(size)
+                )
+            )
+        metrics.append(_both_models("existence", _existence, model, _existence_batch))
+    return metrics
 
 
 def fig10_extension2(
-    config: ExperimentConfig | None = None, progress: Progress = None
+    config: ExperimentConfig | None = None, progress: Progress = None, workers: int = 1
 ) -> FigureSeries:
     """Extension 2 for every segment-size variation (Figure 10 a+b)."""
     config = config or ExperimentConfig.from_environment()
+    experiment = ConditionExperiment(config, metrics_factory=fig10_metrics)
+    return experiment.run(
+        "fig10", "minimal ensured: extension 2 segment sizes", progress, workers=workers
+    )
+
+
+def fig11_metrics(config: ExperimentConfig) -> list[MetricSpec]:
+    """Figure 11's curves (picklable metrics factory)."""
     metrics: list[MetricSpec] = []
     for model in (BLOCK_MODEL, MCC_MODEL):
-        metrics.append(_both_models("safe_source", _safe_source, model))
-        for size in config.segment_sizes:
-            label = "max" if size is None else str(size)
-            metrics.append(_both_models(f"ext2_{label}", _extension2(size), model))
-        metrics.append(_both_models("existence", _existence, model))
-    experiment = ConditionExperiment(config, metrics)
-    return experiment.run("fig10", "minimal ensured: extension 2 segment sizes", progress)
+        metrics.append(_both_models("safe_source", _safe_source, model, _safe_source_batch))
+        for level in config.pivot_levels:
+            metrics.append(
+                _both_models(
+                    f"ext3_level{level}", _extension3(level), model, _extension3_batch(level)
+                )
+            )
+        metrics.append(_both_models("existence", _existence, model, _existence_batch))
+    return metrics
 
 
 def fig11_extension3(
-    config: ExperimentConfig | None = None, progress: Progress = None
+    config: ExperimentConfig | None = None, progress: Progress = None, workers: int = 1
 ) -> FigureSeries:
     """Extension 3 for partition levels 1-3 (Figure 11 a+b)."""
     config = config or ExperimentConfig.from_environment()
-    metrics: list[MetricSpec] = []
-    for model in (BLOCK_MODEL, MCC_MODEL):
-        metrics.append(_both_models("safe_source", _safe_source, model))
-        for level in config.pivot_levels:
-            metrics.append(_both_models(f"ext3_level{level}", _extension3(level), model))
-        metrics.append(_both_models("existence", _existence, model))
-    experiment = ConditionExperiment(config, metrics)
-    return experiment.run("fig11", "minimal ensured: extension 3 partition levels", progress)
+    experiment = ConditionExperiment(config, metrics_factory=fig11_metrics)
+    return experiment.run(
+        "fig11", "minimal ensured: extension 3 partition levels", progress, workers=workers
+    )
 
 
-def fig12_strategies(
-    config: ExperimentConfig | None = None, progress: Progress = None
-) -> FigureSeries:
-    """Strategies 1-4 / 1a-4a (Figure 12 a+b)."""
-    config = config or ExperimentConfig.from_environment()
+def fig12_metrics(config: ExperimentConfig) -> list[MetricSpec]:
+    """Figure 12's curves (picklable metrics factory)."""
     metrics: list[MetricSpec] = []
     for model in (BLOCK_MODEL, MCC_MODEL):
         for strategy in Strategy:
             metrics.append(
-                _both_models(f"strategy{strategy.value}", _strategy(strategy, config), model)
+                _both_models(
+                    f"strategy{strategy.value}",
+                    _strategy(strategy, config),
+                    model,
+                    _strategy_batch(strategy, config),
+                )
             )
-        metrics.append(_both_models("existence", _existence, model))
-    experiment = ConditionExperiment(config, metrics)
-    return experiment.run("fig12", "minimal ensured: strategies 1-4", progress)
+        metrics.append(_both_models("existence", _existence, model, _existence_batch))
+    return metrics
+
+
+def fig12_strategies(
+    config: ExperimentConfig | None = None, progress: Progress = None, workers: int = 1
+) -> FigureSeries:
+    """Strategies 1-4 / 1a-4a (Figure 12 a+b)."""
+    config = config or ExperimentConfig.from_environment()
+    experiment = ConditionExperiment(config, metrics_factory=fig12_metrics)
+    return experiment.run(
+        "fig12", "minimal ensured: strategies 1-4", progress, workers=workers
+    )

@@ -6,10 +6,26 @@ source's axis segments once, then evaluates every registered metric on
 every random destination.  Metrics under the block and MCC models see the
 *same* fault patterns and destinations, so the paper's (a)/(b) figure pairs
 are paired comparisons.
+
+Scaling layers (see ``docs/API.md``, "Scaling experiments"):
+
+- destinations are evaluated as **batches**: a metric with a ``batch_fn``
+  (a vectorised kernel from :mod:`repro.core.batched`) decides all of a
+  pattern's destinations in one numpy call;
+- per-pattern artifacts (blocked grid, rectangles, ESL grid, axis
+  segments) flow through the process-wide
+  :class:`~repro.parallel.cache.ArtifactCache`, so block-/MCC-model
+  metrics and repeated same-seed sweeps never recompute them;
+- ``run(workers=N)`` shards ``patterns_per_count`` across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Every pattern owns a
+  :class:`numpy.random.SeedSequence` spawned along a fixed tree
+  (see :mod:`repro.parallel.pool`), so serial and parallel runs produce
+  bit-identical :class:`~repro.experiments.report.FigureSeries`.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -26,10 +42,32 @@ from repro.faults.mcc import MCCType
 from repro.mesh.frames import Frame
 from repro.mesh.geometry import Coord, Direction, Rect
 from repro.mesh.topology import Mesh2D
+from repro.parallel.cache import get_artifact_cache
+from repro.parallel.pool import ShardPlan, plan_shards
 
 #: The fault models a metric can run under.
 BLOCK_MODEL = "block"
 MCC_MODEL = "mcc"
+
+
+@dataclass
+class ScenarioArtifacts:
+    """Derived state shared by every metric over one (pattern, model) pair.
+
+    These are exactly the artifacts that are deterministic functions of the
+    fault pattern (no RNG involved), which makes them safe to reuse through
+    the :class:`~repro.parallel.cache.ArtifactCache`: the blocked grid, the
+    block/MCC rectangles, the full ESL grid, and the lazily-built axis
+    segments for the fixed source.
+    """
+
+    blocked: np.ndarray
+    rects: list[Rect]
+    levels: SafetyLevels
+    segment_cache: dict[tuple[int | None, str], tuple[RegionSegments, RegionSegments]] = field(
+        default_factory=dict
+    )
+    reachability_maps: dict[tuple[bool, bool], np.ndarray] = field(default_factory=dict)
 
 
 @dataclass
@@ -39,6 +77,8 @@ class TrialContext:
     Axis segments are cached per segment size: the simulation's source is
     fixed and every destination lies in quadrant I, so the canonical frame
     -- and therefore the segment construction -- is destination-independent.
+    The segment cache lives on the shared :class:`ScenarioArtifacts`, so a
+    cached pattern keeps its segments across repeated sweeps.
     """
 
     mesh: Mesh2D
@@ -52,6 +92,10 @@ class TrialContext:
     _segment_cache: dict[tuple[int | None, str], tuple[RegionSegments, RegionSegments]] = field(
         default_factory=dict
     )
+    #: Lazily-built monotone reachability maps keyed by quadrant (see
+    #: :func:`repro.faults.coverage.batch_minimal_path_exists`); lives on
+    #: the shared artifacts so cached patterns keep their maps.
+    reachability_maps: dict[tuple[bool, bool], np.ndarray] = field(default_factory=dict)
 
     def segments(
         self, size: int | None, tie_break: str = "far"
@@ -71,25 +115,156 @@ class TrialContext:
 
 
 MetricFn = Callable[[TrialContext, Coord], bool]
+BatchMetricFn = Callable[[TrialContext, np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
 class MetricSpec:
-    """One curve of a figure: a predicate evaluated per destination."""
+    """One curve of a figure: a predicate evaluated per destination.
+
+    ``batch_fn``, when given, decides a whole ``(k, 2)`` destination array
+    in one call and must agree with ``fn`` element-wise (the property tests
+    cross-validate the built-in kernels); metrics without one fall back to
+    the scalar loop.
+    """
 
     name: str
     fn: MetricFn
     model: str = BLOCK_MODEL
+    batch_fn: BatchMetricFn | None = None
 
     def __post_init__(self) -> None:
         if self.model not in (BLOCK_MODEL, MCC_MODEL):
             raise ValueError(f"unknown model {self.model!r}")
 
 
-class ConditionExperiment:
-    """Sweep fault counts, measuring each metric's success proportion."""
+#: Rebuilds a figure's metric list inside worker processes (must be a
+#: picklable callable, e.g. a module-level function).
+MetricsFactory = Callable[[ExperimentConfig], "list[MetricSpec]"]
 
-    def __init__(self, config: ExperimentConfig, metrics: list[MetricSpec]):
+
+def _build_artifacts(scenario: FaultScenario, model: str) -> ScenarioArtifacts:
+    if model == BLOCK_MODEL:
+        blocked = scenario.blocks.unusable
+        rects = scenario.block_rects()
+    else:
+        mccs = scenario.mccs(MCCType.TYPE_ONE)
+        blocked = mccs.blocked
+        rects = [component.rect for component in mccs]
+    levels = compute_safety_levels(scenario.mesh, blocked)
+    return ScenarioArtifacts(blocked=blocked, rects=rects, levels=levels)
+
+
+def _build_context(
+    config: ExperimentConfig,
+    scenario: FaultScenario,
+    model: str,
+    rng: np.random.Generator,
+    pivots_by_level: dict[int, list[Coord]],
+) -> TrialContext:
+    cache_key = (model, scenario.mesh.n, scenario.mesh.m, tuple(scenario.faults))
+    artifacts = get_artifact_cache().get_or_build(
+        cache_key, lambda: _build_artifacts(scenario, model)
+    )
+    strategy_pivots = random_pivots(config.pivot_region, config.strategy_pivot_levels, rng)
+    return TrialContext(
+        mesh=scenario.mesh,
+        source=config.source,
+        levels=artifacts.levels,
+        blocked=artifacts.blocked,
+        rects=artifacts.rects,
+        pivots_by_level=pivots_by_level,
+        strategy_pivots=strategy_pivots,
+        strategy_rng=rng,
+        _segment_cache=artifacts.segment_cache,
+        reachability_maps=artifacts.reachability_maps,
+    )
+
+
+def _evaluate_shard(
+    config: ExperimentConfig, metrics: list[MetricSpec], shard: ShardPlan
+) -> tuple[dict[str, int], int]:
+    """Success counts and trials over one shard's patterns.
+
+    Each pattern consumes only its own spawned RNG stream, so the result
+    depends on the shard contents alone -- never on which worker ran it or
+    what ran before it in the same process.
+    """
+    needs_mcc = any(metric.model == MCC_MODEL for metric in metrics)
+    pivots_by_level = {
+        level: recursive_center_pivots(config.pivot_region, level)
+        for level in config.pivot_levels
+    }
+    successes = {metric.name: 0 for metric in metrics}
+    trials = 0
+    for seed_seq in shard.pattern_seeds:
+        rng = np.random.default_rng(seed_seq)
+        scenario = generate_scenario(
+            config.mesh,
+            shard.fault_count,
+            rng,
+            source=config.source,
+            workload=config.workload,
+        )
+        contexts = {
+            BLOCK_MODEL: _build_context(config, scenario, BLOCK_MODEL, rng, pivots_by_level)
+        }
+        if needs_mcc:
+            contexts[MCC_MODEL] = _build_context(
+                config, scenario, MCC_MODEL, rng, pivots_by_level
+            )
+        dests = [
+            scenario.pick_destination(
+                rng, config.destination_region, exclude={config.source}
+            )
+            for _ in range(config.destinations_per_pattern)
+        ]
+        trials += len(dests)
+        dest_array = np.array(dests, dtype=np.int64)
+        for metric in metrics:
+            context = contexts[metric.model]
+            if metric.batch_fn is not None:
+                mask = metric.batch_fn(context, dest_array)
+                successes[metric.name] += int(np.count_nonzero(mask))
+            else:
+                successes[metric.name] += sum(
+                    1 for dest in dests if metric.fn(context, dest)
+                )
+    return successes, trials
+
+
+def _shard_worker(
+    config: ExperimentConfig, metrics_factory: MetricsFactory, shard: ShardPlan
+) -> tuple[dict[str, int], int]:
+    """Process-pool entry point: rebuild the metrics, evaluate one shard.
+
+    Metric predicates routinely close over figure parameters and are not
+    picklable, so workers receive the (picklable) factory instead and
+    reconstruct the metric list locally.
+    """
+    return _evaluate_shard(config, metrics_factory(config), shard)
+
+
+class ConditionExperiment:
+    """Sweep fault counts, measuring each metric's success proportion.
+
+    ``metrics`` may be given directly, or via ``metrics_factory`` -- a
+    picklable callable mapping the config to the metric list.  The factory
+    form is required for ``run(workers>1)``: worker processes rebuild the
+    metrics themselves instead of unpickling closures.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        metrics: list[MetricSpec] | None = None,
+        *,
+        metrics_factory: MetricsFactory | None = None,
+    ):
+        if metrics is None:
+            if metrics_factory is None:
+                raise ValueError("need metrics or a metrics_factory")
+            metrics = metrics_factory(config)
         if not metrics:
             raise ValueError("need at least one metric")
         names = [m.name for m in metrics]
@@ -97,65 +272,62 @@ class ConditionExperiment:
             raise ValueError(f"duplicate metric names in {names}")
         self.config = config
         self.metrics = metrics
-        self._needs_mcc = any(m.model == MCC_MODEL for m in metrics)
+        self.metrics_factory = metrics_factory
 
     # ------------------------------------------------------------------
-    def _build_context(self, scenario: FaultScenario, model: str, rng: np.random.Generator) -> TrialContext:
-        config = self.config
-        if model == BLOCK_MODEL:
-            blocked = scenario.blocks.unusable
-            rects = scenario.block_rects()
-        else:
-            mccs = scenario.mccs(MCCType.TYPE_ONE)
-            blocked = mccs.blocked
-            rects = [component.rect for component in mccs]
-        levels = compute_safety_levels(scenario.mesh, blocked)
-        pivots_by_level = {
-            level: recursive_center_pivots(config.pivot_region, level)
-            for level in config.pivot_levels
-        }
-        strategy_pivots = random_pivots(
-            config.pivot_region, config.strategy_pivot_levels, rng
-        )
-        return TrialContext(
-            mesh=scenario.mesh,
-            source=config.source,
-            levels=levels,
-            blocked=blocked,
-            rects=rects,
-            pivots_by_level=pivots_by_level,
-            strategy_pivots=strategy_pivots,
-            strategy_rng=rng,
-        )
+    def run(
+        self,
+        figure_id: str,
+        title: str,
+        progress: Callable[[str], None] | None = None,
+        workers: int = 1,
+    ) -> FigureSeries:
+        """Run the sweep on ``workers`` processes (1 = in-process, serial).
 
-    def run(self, figure_id: str, title: str, progress: Callable[[str], None] | None = None) -> FigureSeries:
+        The fault-pattern RNG streams are spawned per pattern from the
+        config seed, so any ``workers`` value -- including 1 -- yields the
+        same :class:`FigureSeries`, bit for bit.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and self.metrics_factory is None:
+            raise ValueError(
+                "run(workers>1) needs a picklable metrics_factory: construct the "
+                "experiment with ConditionExperiment(config, metrics_factory=...) "
+                "(metric predicates themselves are often unpicklable closures)"
+            )
         config = self.config
-        rng = np.random.default_rng(config.seed)
         series = FigureSeries(figure_id=figure_id, title=title, x_label="faults")
         series.notes.append(config.describe())
+        plans = plan_shards(
+            config.seed, config.fault_counts, config.patterns_per_count, workers
+        )
 
-        for fault_count in config.fault_counts:
+        if workers == 1:
+            shard_results = [
+                [_evaluate_shard(config, self.metrics, shard) for shard in shards]
+                for shards in plans
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    [
+                        pool.submit(_shard_worker, config, self.metrics_factory, shard)
+                        for shard in shards
+                    ]
+                    for shards in plans
+                ]
+                shard_results = [
+                    [future.result() for future in row] for row in futures
+                ]
+
+        for fault_count, row in zip(config.fault_counts, shard_results):
             successes = {metric.name: 0 for metric in self.metrics}
             trials = 0
-            for _ in range(config.patterns_per_count):
-                scenario = generate_scenario(
-                    config.mesh,
-                    fault_count,
-                    rng,
-                    source=config.source,
-                    workload=config.workload,
-                )
-                contexts = {BLOCK_MODEL: self._build_context(scenario, BLOCK_MODEL, rng)}
-                if self._needs_mcc:
-                    contexts[MCC_MODEL] = self._build_context(scenario, MCC_MODEL, rng)
-                for _ in range(config.destinations_per_pattern):
-                    dest = scenario.pick_destination(
-                        rng, config.destination_region, exclude={config.source}
-                    )
-                    trials += 1
-                    for metric in self.metrics:
-                        if metric.fn(contexts[metric.model], dest):
-                            successes[metric.name] += 1
+            for shard_successes, shard_trials in row:
+                trials += shard_trials
+                for name, count in shard_successes.items():
+                    successes[name] += count
             series.xs.append(float(fault_count))
             for metric in self.metrics:
                 series.add_point(metric.name, proportion_ci(successes[metric.name], trials))

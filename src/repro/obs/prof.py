@@ -41,6 +41,8 @@ HOT_COUNTER_NAMES: frozenset[str] = frozenset(
         "blocks.build",      # faulty-block constructions (Definition 1)
         "mcc.build",         # MCC labellings (Definition 2)
         "sim.messages",      # simulator messages entering a channel
+        "cache.hits",        # scenario-artifact cache hits (repro.parallel)
+        "cache.misses",      # scenario-artifact cache misses
     }
 )
 

@@ -1,0 +1,110 @@
+"""Keyed scenario-artifact cache (``repro.parallel.cache``).
+
+One fault *pattern* determines a bundle of derived artifacts -- the
+blocked-node grid, the block/MCC rectangles, the full ESL grid, and the
+per-source axis segments.  The condition experiments evaluate many metrics
+over the same pattern, and repeated sweeps (the paired (a)/(b) figures,
+benchmark repeats, ``repro figures all``) regenerate identical patterns
+from the same seed; without a cache every run recomputes the artifacts
+from scratch.
+
+:class:`ArtifactCache` is a small LRU keyed by whatever the caller hashes
+the pattern with (the experiment runner uses
+``(model, n, m, faults-tuple)``).  Hits and misses are tallied on the
+cache *and* bumped as ``cache.hits`` / ``cache.misses`` hot counters on
+the installed :mod:`repro.obs.prof` profiler, so ``repro bench`` and
+``repro stats --profile`` surface the reuse rate.
+
+The default cache is a module-level slot (one per process; worker
+processes of the experiment pool each get their own).  Swap it with
+:func:`use_artifact_cache` for isolation in tests.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+from typing import Any, Callable, Hashable, Iterator
+
+from repro.obs.prof import get_profiler
+
+#: Default entry bound.  Entries hold full ESL grids (four ``(n, m)``
+#: int64 arrays), so the bound is on entries, not bytes: 128 entries cover
+#: a quick-scale figure sweep (8 fault counts x 6 patterns x 2 models)
+#: with room to spare while keeping worst-case memory modest.
+DEFAULT_MAXSIZE = 128
+
+
+class ArtifactCache:
+    """A bounded LRU mapping pattern keys to derived-artifact bundles."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: collections.OrderedDict[Hashable, Any] = collections.OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, building (and storing) on a miss."""
+        profiler = get_profiler()
+        if key in self._entries:
+            self.hits += 1
+            if profiler.enabled:
+                profiler.count("cache.hits")
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        if profiler.enabled:
+            profiler.count("cache.misses")
+        value = build()
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """JSON-ready counters (sizes and hit/miss tallies)."""
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+_current = ArtifactCache()
+
+
+def get_artifact_cache() -> ArtifactCache:
+    """The process-wide artifact cache currently installed."""
+    return _current
+
+
+def set_artifact_cache(cache: ArtifactCache | None) -> ArtifactCache:
+    """Install ``cache`` (None installs a fresh default-sized one);
+    returns the previously installed cache."""
+    global _current
+    previous = _current
+    _current = cache if cache is not None else ArtifactCache()
+    return previous
+
+
+@contextlib.contextmanager
+def use_artifact_cache(cache: ArtifactCache) -> Iterator[ArtifactCache]:
+    """Install ``cache`` for the duration of a ``with`` block."""
+    previous = set_artifact_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_artifact_cache(previous)

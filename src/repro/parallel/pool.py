@@ -1,0 +1,83 @@
+"""Deterministic pattern sharding for the experiment process pool.
+
+The experiment runner gives every fault pattern its own
+:class:`numpy.random.SeedSequence`, spawned from the experiment seed along
+a fixed tree: ``root -> one child per fault count -> one grandchild per
+pattern``.  A shard is a contiguous slice of one fault count's pattern
+sequences; because each pattern's stream is independent of its neighbours,
+any partition of the patterns over any number of workers replays the exact
+same scenarios, destinations, and random pivots -- merging per-shard
+success counts (integer sums) therefore reproduces the serial run
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShardPlan", "pattern_seed_tree", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker task: a slice of one fault count's patterns.
+
+    ``pattern_offset`` is the index of the first pattern in the slice
+    (diagnostics only -- results are merged by integer addition, so shard
+    order never affects the outcome).
+    """
+
+    fault_count: int
+    pattern_offset: int
+    pattern_seeds: tuple[np.random.SeedSequence, ...]
+
+
+def pattern_seed_tree(
+    seed: int, fault_counts: tuple[int, ...], patterns_per_count: int
+) -> list[list[np.random.SeedSequence]]:
+    """Per-fault-count lists of per-pattern seed sequences.
+
+    The spawn tree depends only on ``(seed, len(fault_counts),
+    patterns_per_count)``, so every worker layout sees identical streams.
+    """
+    root = np.random.SeedSequence(seed)
+    count_seqs = root.spawn(len(fault_counts))
+    return [seq.spawn(patterns_per_count) for seq in count_seqs]
+
+
+def plan_shards(
+    seed: int,
+    fault_counts: tuple[int, ...],
+    patterns_per_count: int,
+    workers: int,
+) -> list[list[ShardPlan]]:
+    """Shard every fault count's patterns into at most ``workers`` slices.
+
+    Returns one list of :class:`ShardPlan` per fault count, in fault-count
+    order.  Slices are contiguous and near-equal (sizes differ by at most
+    one); with ``workers=1`` each fault count is a single shard, which is
+    exactly the serial evaluation order.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    tree = pattern_seed_tree(seed, fault_counts, patterns_per_count)
+    plans: list[list[ShardPlan]] = []
+    for fault_count, seeds in zip(fault_counts, tree):
+        shard_count = min(workers, len(seeds))
+        base, extra = divmod(len(seeds), shard_count)
+        shards: list[ShardPlan] = []
+        offset = 0
+        for i in range(shard_count):
+            size = base + (1 if i < extra else 0)
+            shards.append(
+                ShardPlan(
+                    fault_count=fault_count,
+                    pattern_offset=offset,
+                    pattern_seeds=tuple(seeds[offset : offset + size]),
+                )
+            )
+            offset += size
+        plans.append(shards)
+    return plans

@@ -1,0 +1,176 @@
+"""Property tests: the batched kernels agree with the scalar predicates.
+
+Each kernel in :mod:`repro.core.batched` promises element-wise agreement
+with its scalar decision procedure.  The tests sweep random meshes, fault
+patterns, sources, and destinations in **all four quadrants** and compare
+the boolean masks against per-destination scalar calls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batched import (
+    batch_extension1,
+    batch_extension2_from_segments,
+    batch_extension3,
+    batch_is_safe,
+)
+from repro.core.conditions import is_safe
+from repro.core.extensions import (
+    extension1_decision,
+    extension2_decision_from_segments,
+    extension3_decision,
+)
+from repro.core.pivots import random_pivots, recursive_center_pivots
+from repro.core.safety import compute_safety_levels
+from repro.core.segments import build_axis_segments
+from repro.faults.coverage import batch_minimal_path_exists, minimal_path_exists
+from repro.mesh.frames import Frame
+from repro.mesh.geometry import Direction, Rect
+from repro.mesh.topology import Mesh2D
+
+from tests.conftest import random_block_set
+
+
+def _random_case(seed, side=14, faults=10, dests=40):
+    """A random (mesh, levels, blocked, source, dests) tuple.
+
+    Destinations are drawn over the whole mesh, so every quadrant relative
+    to the source is exercised (including the degenerate on-axis cases).
+    """
+    rng = np.random.default_rng(seed)
+    mesh = Mesh2D(side, side)
+    blocks = random_block_set(mesh, faults, rng)
+    blocked = blocks.unusable
+    levels = compute_safety_levels(mesh, blocked)
+    free = np.argwhere(~blocked)
+    source = tuple(int(v) for v in free[rng.integers(len(free))])
+    dest_rows = free[rng.integers(len(free), size=dests)]
+    dest_arr = dest_rows.astype(np.int64)
+    dest_list = [tuple(int(v) for v in row) for row in dest_rows]
+    return mesh, levels, blocked, source, dest_arr, dest_list, rng
+
+
+SEEDS = range(8)
+
+
+class TestBatchIsSafe:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_scalar_definition3(self, seed):
+        _, levels, _, source, dest_arr, dest_list, _ = _random_case(seed)
+        mask = batch_is_safe(levels, source, dest_arr)
+        expected = [is_safe(levels, source, dest) for dest in dest_list]
+        assert mask.tolist() == expected
+
+    def test_rejects_bad_shape(self):
+        mesh = Mesh2D(8, 8)
+        levels = compute_safety_levels(mesh, np.zeros((8, 8), dtype=bool))
+        with pytest.raises(ValueError, match=r"\(k, 2\)"):
+            batch_is_safe(levels, (4, 4), np.zeros((3, 3), dtype=np.int64))
+
+
+class TestBatchExtension1:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("allow_sub_minimal", [False, True])
+    def test_matches_scalar_theorem1a(self, seed, allow_sub_minimal):
+        mesh, levels, blocked, source, dest_arr, dest_list, _ = _random_case(seed)
+        mask = batch_extension1(
+            mesh, levels, blocked, source, dest_arr, allow_sub_minimal=allow_sub_minimal
+        )
+        expected = []
+        for dest in dest_list:
+            decision = extension1_decision(
+                mesh, levels, blocked, source, dest, allow_sub_minimal=allow_sub_minimal
+            )
+            expected.append(
+                decision.ensures_sub_minimal if allow_sub_minimal else decision.ensures_minimal
+            )
+        assert mask.tolist() == expected
+
+
+class TestBatchExtension2:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("segment_size", [1, 3, None])
+    def test_matches_scalar_theorem1b(self, seed, segment_size):
+        mesh, levels, blocked, source, dest_arr, dest_list, _ = _random_case(seed)
+        frame = Frame(origin=source)
+        east = build_axis_segments(mesh, levels, frame, Direction.EAST, segment_size)
+        north = build_axis_segments(mesh, levels, frame, Direction.NORTH, segment_size)
+        mask = batch_extension2_from_segments(levels, source, dest_arr, east, north)
+        expected = [
+            extension2_decision_from_segments(
+                levels, source, dest, east, north
+            ).ensures_minimal
+            for dest in dest_list
+        ]
+        assert mask.tolist() == expected
+
+
+class TestBatchExtension3:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_scalar_theorem1c_center_pivots(self, seed):
+        mesh, levels, blocked, source, dest_arr, dest_list, _ = _random_case(seed)
+        region = Rect(source[0], mesh.n - 1, source[1], mesh.m - 1)
+        pivots = recursive_center_pivots(region, 3)
+        mask = batch_extension3(mesh, levels, blocked, source, dest_arr, pivots)
+        expected = [
+            extension3_decision(
+                mesh, levels, blocked, source, dest, pivots
+            ).ensures_minimal
+            for dest in dest_list
+        ]
+        assert mask.tolist() == expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_scalar_theorem1c_random_pivots(self, seed):
+        mesh, levels, blocked, source, dest_arr, dest_list, rng = _random_case(seed)
+        pivots = random_pivots(Rect(0, mesh.n - 1, 0, mesh.m - 1), 3, rng)
+        mask = batch_extension3(mesh, levels, blocked, source, dest_arr, pivots)
+        expected = [
+            extension3_decision(
+                mesh, levels, blocked, source, dest, pivots
+            ).ensures_minimal
+            for dest in dest_list
+        ]
+        assert mask.tolist() == expected
+
+    def test_no_usable_pivots_reduces_to_definition3(self):
+        mesh, levels, blocked, source, dest_arr, _, _ = _random_case(3)
+        mask = batch_extension3(mesh, levels, blocked, source, dest_arr, [])
+        assert mask.tolist() == batch_is_safe(levels, source, dest_arr).tolist()
+
+
+class TestBatchMinimalPathExists:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_scalar_oracle(self, seed):
+        _, _, blocked, source, dest_arr, dest_list, _ = _random_case(seed)
+        mask = batch_minimal_path_exists(blocked, source, dest_arr)
+        expected = [minimal_path_exists(blocked, source, dest) for dest in dest_list]
+        assert mask.tolist() == expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_maps_are_reused_and_consistent(self, seed):
+        _, _, blocked, source, dest_arr, dest_list, _ = _random_case(seed)
+        maps = {}
+        first = batch_minimal_path_exists(blocked, source, dest_arr, maps=maps)
+        assert maps  # at least one quadrant map was built
+        built = {key: value.copy() for key, value in maps.items()}
+        second = batch_minimal_path_exists(blocked, source, dest_arr, maps=maps)
+        assert first.tolist() == second.tolist()
+        expected = [minimal_path_exists(blocked, source, dest) for dest in dest_list]
+        assert second.tolist() == expected
+        for key, value in built.items():
+            assert np.array_equal(maps[key], value)
+
+    def test_includes_source_and_blocked_destinations(self):
+        _, _, blocked, source, _, _, _ = _random_case(5)
+        blocked_cells = np.argwhere(blocked)
+        dests = np.vstack([[source], blocked_cells[:5]]).astype(np.int64)
+        mask = batch_minimal_path_exists(blocked, source, dests)
+        assert mask[0]  # source reaches itself
+        assert not mask[1:].any()  # blocked destinations are unreachable
+
+    def test_rejects_bad_shape(self):
+        _, _, blocked, source, _, _, _ = _random_case(0)
+        with pytest.raises(ValueError, match=r"\(k, 2\)"):
+            batch_minimal_path_exists(blocked, source, np.zeros(4, dtype=np.int64))

@@ -268,3 +268,32 @@ class TestBenchCli:
         )
         assert code == 0
         assert not list(tmp_path.glob("BENCH_*.json"))
+
+    def test_compare_missing_baseline_is_a_clear_error(self, tmp_path):
+        code, text = self._run(
+            "--quick", "--only", "micro.esl_compute", "--repeats", "2",
+            "--no-write", "--compare", str(tmp_path / "nope.json"),
+        )
+        assert code == 2
+        assert "does not exist" in text
+        assert "Traceback" not in text
+
+    def test_compare_corrupt_baseline_is_a_clear_error(self, tmp_path):
+        baseline = tmp_path / "corrupt.json"
+        baseline.write_text("{not json")
+        code, text = self._run(
+            "--quick", "--only", "micro.esl_compute", "--repeats", "2",
+            "--no-write", "--compare", str(baseline),
+        )
+        assert code == 2
+        assert "not valid JSON" in text
+
+    def test_compare_non_bench_json_is_a_clear_error(self, tmp_path):
+        baseline = tmp_path / "other.json"
+        baseline.write_text(json.dumps({"something": "else"}))
+        code, text = self._run(
+            "--quick", "--only", "micro.esl_compute", "--repeats", "2",
+            "--no-write", "--compare", str(baseline),
+        )
+        assert code == 2
+        assert "workloads" in text

@@ -128,3 +128,58 @@ class TestBlockSetInvariants:
     def test_out_of_bounds_fault_raises(self):
         with pytest.raises(ValueError):
             build_faulty_blocks(Mesh2D(5, 5), [(5, 0)])
+
+
+class TestImplementationCrossValidation:
+    """The frontier fixpoint and run-labelled components must reproduce the
+    original dense/BFS implementations exactly (on random grids and the
+    structured edge cases)."""
+
+    def _random_masks(self, count=40, seed=123):
+        rng = np.random.default_rng(seed)
+        for _ in range(count):
+            n = int(rng.integers(1, 24))
+            m = int(rng.integers(1, 24))
+            density = rng.uniform(0.0, 0.6)
+            yield rng.random((n, m)) < density
+
+    def test_frontier_fixpoint_matches_dense(self):
+        from repro.faults.blocks import _disable_fixpoint_dense
+
+        for faulty in self._random_masks():
+            frontier = disable_fixpoint(faulty, method="frontier")
+            dense = _disable_fixpoint_dense(faulty)
+            assert np.array_equal(frontier, dense)
+
+    def test_frontier_fixpoint_structured_cases(self):
+        from repro.faults.blocks import _disable_fixpoint_dense
+
+        cases = [
+            np.zeros((5, 5), dtype=bool),  # no faults
+            np.ones((4, 4), dtype=bool),  # everything faulty
+            np.eye(8, dtype=bool),  # diagonal: cascades to the full square
+        ]
+        checker = np.zeros((6, 6), dtype=bool)
+        checker[::2, ::2] = True
+        cases.append(checker)
+        for faulty in cases:
+            assert np.array_equal(
+                disable_fixpoint(faulty, method="frontier"),
+                _disable_fixpoint_dense(faulty),
+            )
+
+    def test_run_components_match_bfs(self):
+        from repro.faults.blocks import _connected_components, _connected_components_bfs
+
+        for mask in self._random_masks(seed=321):
+            runs = _connected_components(mask, method="runs")
+            bfs = _connected_components_bfs(mask)
+            assert sorted(map(sorted, runs)) == sorted(map(sorted, bfs))
+
+    def test_unknown_methods_raise(self):
+        from repro.faults.blocks import _connected_components
+
+        with pytest.raises(ValueError, match="fixpoint method"):
+            disable_fixpoint(np.zeros((3, 3), dtype=bool), method="nope")
+        with pytest.raises(ValueError, match="components method"):
+            _connected_components(np.zeros((3, 3), dtype=bool), method="nope")

@@ -1,0 +1,143 @@
+"""Tests for ``repro.parallel``: sharding, the artifact cache, and the
+worker-count invariance of the condition experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import fig9_metrics
+from repro.experiments.runner import BLOCK_MODEL, ConditionExperiment, MetricSpec
+from repro.obs.prof import Profiler, use_profiler
+from repro.parallel.cache import ArtifactCache, get_artifact_cache, use_artifact_cache
+from repro.parallel.pool import pattern_seed_tree, plan_shards
+
+
+def _tiny_config(seed=11):
+    return ExperimentConfig.scaled(
+        side=32, patterns_per_count=3, destinations_per_pattern=5, seed=seed
+    )
+
+
+class TestShardPlanning:
+    def test_shards_partition_the_seed_tree(self):
+        config = _tiny_config()
+        tree = pattern_seed_tree(config.seed, config.fault_counts, config.patterns_per_count)
+        plans = plan_shards(config.seed, config.fault_counts, config.patterns_per_count, 2)
+        assert len(plans) == len(config.fault_counts)
+        for seeds, shards in zip(tree, plans):
+            reassembled = [seq for shard in shards for seq in shard.pattern_seeds]
+            assert [s.entropy for s in reassembled] == [s.entropy for s in seeds]
+            assert [s.spawn_key for s in reassembled] == [s.spawn_key for s in seeds]
+            sizes = [len(shard.pattern_seeds) for shard in shards]
+            assert max(sizes) - min(sizes) <= 1
+            assert [shard.pattern_offset for shard in shards] == [
+                sum(sizes[:i]) for i in range(len(sizes))
+            ]
+
+    def test_workers_one_is_a_single_shard(self):
+        plans = plan_shards(7, (2, 4), 5, 1)
+        assert all(len(shards) == 1 for shards in plans)
+        assert all(len(shards[0].pattern_seeds) == 5 for shards in plans)
+
+    def test_more_workers_than_patterns(self):
+        plans = plan_shards(7, (2,), 3, 8)
+        assert len(plans[0]) == 3  # never an empty shard
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            plan_shards(7, (2,), 3, 0)
+
+
+class TestArtifactCache:
+    def test_hit_miss_accounting_and_lru_eviction(self):
+        cache = ArtifactCache(maxsize=2)
+        assert cache.get_or_build("a", lambda: 1) == 1
+        assert cache.get_or_build("a", lambda: 2) == 1  # hit: build not called
+        assert cache.get_or_build("b", lambda: 2) == 2
+        assert cache.get_or_build("c", lambda: 3) == 3  # evicts "a" (LRU)
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert cache.get_or_build("a", lambda: 9) == 9
+        assert cache.stats() == {"entries": 2, "maxsize": 2, "hits": 1, "misses": 4}
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            ArtifactCache(maxsize=0)
+
+    def test_use_artifact_cache_scopes_the_installation(self):
+        outer = get_artifact_cache()
+        replacement = ArtifactCache()
+        with use_artifact_cache(replacement) as installed:
+            assert installed is replacement
+            assert get_artifact_cache() is replacement
+        assert get_artifact_cache() is outer
+
+    def test_profiler_counters_track_hits_and_misses(self):
+        cache = ArtifactCache()
+        profiler = Profiler()
+        with use_profiler(profiler):
+            cache.get_or_build("k", lambda: 1)
+            cache.get_or_build("k", lambda: 1)
+            cache.get_or_build("j", lambda: 2)
+        assert profiler.hot["cache.misses"] == 2
+        assert profiler.hot["cache.hits"] == 1
+
+
+class TestExperimentCacheReuse:
+    def test_repeated_sweep_hits_the_cache(self):
+        config = _tiny_config()
+        experiment = ConditionExperiment(config, metrics_factory=fig9_metrics)
+        with use_artifact_cache(ArtifactCache()) as cache:
+            first = experiment.run("fig9", "t")
+            after_first = cache.stats()
+            assert after_first["hits"] == 0
+            assert after_first["misses"] > 0
+            second = experiment.run("fig9", "t")
+            assert cache.misses == after_first["misses"]  # all patterns reused
+            assert cache.hits == after_first["misses"]
+        assert first.series == second.series
+
+
+class TestWorkerInvariance:
+    def test_parallel_run_is_bit_identical_to_serial(self):
+        config = _tiny_config()
+        experiment = ConditionExperiment(config, metrics_factory=fig9_metrics)
+        with use_artifact_cache(ArtifactCache()):
+            serial = experiment.run("fig9", "t", workers=1)
+        with use_artifact_cache(ArtifactCache()):
+            parallel = experiment.run("fig9", "t", workers=4)
+        assert serial.xs == parallel.xs
+        assert serial.series == parallel.series
+
+    def test_workers_require_a_metrics_factory(self):
+        config = _tiny_config()
+        experiment = ConditionExperiment(config, metrics=fig9_metrics(config))
+        with pytest.raises(ValueError, match="metrics_factory"):
+            experiment.run("fig9", "t", workers=2)
+
+    def test_rejects_nonpositive_workers(self):
+        config = _tiny_config()
+        experiment = ConditionExperiment(config, metrics_factory=fig9_metrics)
+        with pytest.raises(ValueError, match="workers"):
+            experiment.run("fig9", "t", workers=0)
+
+    def test_factory_built_metrics_match_explicit_metrics(self):
+        config = _tiny_config()
+        via_factory = ConditionExperiment(config, metrics_factory=fig9_metrics)
+        explicit = ConditionExperiment(config, metrics=fig9_metrics(config))
+        assert [m.name for m in via_factory.metrics] == [m.name for m in explicit.metrics]
+
+
+class TestBatchedMetricsInTheRunner:
+    def test_batched_and_scalar_metrics_agree_end_to_end(self):
+        config = _tiny_config()
+        batched = fig9_metrics(config)
+        scalar_only = [MetricSpec(m.name, m.fn, m.model, None) for m in batched]
+        a = ConditionExperiment(config, batched).run("fig9", "t")
+        b = ConditionExperiment(config, scalar_only).run("fig9", "t")
+        assert a.series == b.series
+
+    def test_duplicate_metric_names_rejected(self):
+        config = _tiny_config()
+        metric = MetricSpec("m", lambda ctx, dest: True, BLOCK_MODEL)
+        with pytest.raises(ValueError, match="duplicate"):
+            ConditionExperiment(config, [metric, metric])
