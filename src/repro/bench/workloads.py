@@ -167,6 +167,69 @@ def builtin_registry() -> BenchRegistry:
         run_block_formation(mesh, faults)
         return run_safety_propagation(mesh, blocks.unusable)
 
+    # -- sim: message-passing simulator fast path ---------------------
+    def sim_formation_setup(config):
+        from repro.faults.blocks import build_faulty_blocks
+
+        side = _size(config, 96, 40)
+        mesh, faults, _ = _scenario(side, side * side // 40, config.seed)
+        unusable = build_faulty_blocks(mesh, faults).unusable
+        return mesh, faults, unusable
+
+    def _run_formation(state, scheduler, delivery):
+        from repro.simulator.protocols import (
+            run_block_formation,
+            run_safety_propagation,
+        )
+
+        mesh, faults, unusable = state
+        run_block_formation(mesh, faults, scheduler=scheduler, delivery=delivery)
+        return run_safety_propagation(
+            mesh, unusable, scheduler=scheduler, delivery=delivery
+        )
+
+    @registry.register(
+        "sim.formation_large", kind="macro", setup=sim_formation_setup,
+        description="large-mesh block formation + ESL propagation on the fast path "
+                    "(tick-bucket scheduler, zero-copy delivery)",
+        repeats=10, quick_repeats=3,
+    )
+    def run_sim_formation(state):
+        return _run_formation(state, "buckets", "fast")
+
+    @registry.register(
+        "sim.formation_large_heap", kind="macro", setup=sim_formation_setup,
+        description="same workload on the reference seed path "
+                    "(binary-heap scheduler, legacy per-hop-copy delivery)",
+        repeats=10, quick_repeats=3,
+    )
+    def run_sim_formation_heap(state):
+        return _run_formation(state, "heap", "legacy")
+
+    def dynamic_setup(config):
+        from repro.faults.injection import injection_sequence
+        from repro.mesh.topology import Mesh2D
+
+        side = _size(config, 48, 24)
+        mesh = Mesh2D(side, side)
+        rng = np.random.default_rng(config.seed)
+        count = _size(config, 32, 12)
+        return mesh, injection_sequence(mesh, count, rng, source=mesh.center)
+
+    @registry.register(
+        "sim.dynamic_injection", kind="macro", setup=dynamic_setup,
+        description="live fault-injection sequence with incremental ESL ripples",
+        repeats=10, quick_repeats=3,
+    )
+    def run_dynamic_injection(state):
+        from repro.simulator.protocols.dynamic_update import DynamicMesh
+
+        mesh, faults = state
+        dynamic = DynamicMesh(mesh)
+        for fault in faults:
+            dynamic.inject_fault(fault)
+        return dynamic.total_messages
+
     def batch_setup(config):
         from repro.core.safety import compute_safety_levels
         from repro.faults.blocks import build_faulty_blocks

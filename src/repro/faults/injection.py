@@ -27,6 +27,7 @@ __all__ = [
     "FaultScenario",
     "clustered_faults",
     "generate_scenario",
+    "injection_sequence",
     "uniform_faults",
     "wall_faults",
 ]
@@ -54,6 +55,26 @@ def uniform_faults(
             if len(faults) == count:
                 break
     return sorted(faults)
+
+
+def injection_sequence(
+    mesh: Mesh2D,
+    count: int,
+    rng: np.random.Generator,
+    source: Coord | None = None,
+) -> list[Coord]:
+    """``count`` distinct faults in a random *injection order*.
+
+    :func:`uniform_faults` returns its draw sorted (set semantics for the
+    static scenarios); live-injection workloads --
+    :class:`repro.simulator.protocols.dynamic_update.DynamicMesh` and the
+    ``sim.dynamic_injection`` bench -- additionally need the order in which
+    the faults strike, so this shuffles the draw under the same generator.
+    """
+    forbidden: frozenset[Coord] = frozenset({source} if source is not None else ())
+    faults = uniform_faults(mesh, count, rng, forbidden=forbidden)
+    order = rng.permutation(len(faults))
+    return [faults[int(i)] for i in order]
 
 
 def clustered_faults(

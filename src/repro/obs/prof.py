@@ -41,6 +41,7 @@ HOT_COUNTER_NAMES: frozenset[str] = frozenset(
         "blocks.build",      # faulty-block constructions (Definition 1)
         "mcc.build",         # MCC labellings (Definition 2)
         "sim.messages",      # simulator messages entering a channel
+        "sim.dropped",       # simulator messages dropped at a down channel
         "cache.hits",        # scenario-artifact cache hits (repro.parallel)
         "cache.misses",      # scenario-artifact cache misses
     }

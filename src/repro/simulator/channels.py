@@ -4,33 +4,59 @@ A channel models one directed mesh link: fixed latency, FIFO delivery,
 per-channel counters.  Failed nodes simply have their channels marked down;
 messages to a down channel are dropped (and counted), which is how the
 simulator expresses that faulty nodes neither receive nor forward.
+
+Channel *state* no longer lives in per-channel objects: a
+:class:`~repro.simulator.network.MeshNetwork` keeps the up/carried/dropped
+state of all ``4*n*m`` directed links in three numpy arrays indexed by
+``(x, y, direction)``.  :class:`Channel` remains the standalone link (own
+counters, explicit engine/deliver wiring) for direct use and tests;
+:class:`ChannelView` is the thin API-compatible facade over one network
+array slot, handed out lazily by :class:`ChannelMap` so building a network
+allocates no per-channel objects at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.mesh.geometry import Coord, Direction
 from repro.simulator.messages import Message
 
 if TYPE_CHECKING:
     from repro.simulator.engine import Engine
+    from repro.simulator.network import MeshNetwork
 
 
-@dataclass
 class Channel:
-    """A directed link ``src -> dst`` with fixed latency."""
+    """A directed link ``src -> dst`` with fixed latency (standalone)."""
 
-    src: Coord
-    dst: Coord
-    direction: Direction  # as seen from src
-    latency: float
-    engine: "Engine"
-    deliver: Callable[[Coord, Message], None]
-    up: bool = True
-    messages_carried: int = 0
-    messages_dropped: int = 0
+    __slots__ = (
+        "src", "dst", "direction", "latency", "engine", "deliver",
+        "up", "messages_carried", "messages_dropped",
+    )
+
+    def __init__(
+        self,
+        src: Coord,
+        dst: Coord,
+        direction: Direction,  # as seen from src
+        latency: float,
+        engine: "Engine",
+        deliver: Callable[[Coord, Message], None],
+        up: bool = True,
+        messages_carried: int = 0,
+        messages_dropped: int = 0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.direction = direction
+        self.latency = latency
+        self.engine = engine
+        self.deliver = deliver
+        self.up = up
+        self.messages_carried = messages_carried
+        self.messages_dropped = messages_dropped
 
     def send(self, message: Message) -> None:
         """Queue a message for delivery after the link latency."""
@@ -48,3 +74,84 @@ class Channel:
     def __str__(self) -> str:
         state = "up" if self.up else "down"
         return f"Channel {self.src} -> {self.dst} ({state}, {self.messages_carried} msgs)"
+
+
+class ChannelView(Channel):
+    """One network link, viewed through the network's state arrays.
+
+    Same surface as :class:`Channel` (``up``/counters/``send``/
+    ``take_down``), but every read and write goes to the owning
+    :class:`~repro.simulator.network.MeshNetwork`'s arrays, so views can be
+    created and discarded freely without losing state.
+    """
+
+    __slots__ = ("_network", "_x", "_y", "_di")
+
+    def __init__(self, network: "MeshNetwork", src: Coord, dst: Coord, direction: Direction):
+        self._network = network
+        self._x, self._y = src
+        self._di = network.direction_index(direction)
+        self.src = src
+        self.dst = dst
+        self.direction = direction
+        self.latency = network.latency
+        self.engine = network.engine
+        self.deliver = network._deliver
+
+    @property
+    def up(self) -> bool:  # type: ignore[override]
+        return bool(self._network.channel_up[self._x, self._y, self._di])
+
+    @property
+    def messages_carried(self) -> int:  # type: ignore[override]
+        return int(self._network.channel_carried[self._x, self._y, self._di])
+
+    @property
+    def messages_dropped(self) -> int:  # type: ignore[override]
+        return int(self._network.channel_dropped[self._x, self._y, self._di])
+
+    def send(self, message: Message) -> None:
+        """External-caller path: annotate, count into the arrays, deliver."""
+        network = self._network
+        if not network.channel_up[self._x, self._y, self._di]:
+            network.channel_dropped[self._x, self._y, self._di] += 1
+            network.messages_dropped_total += 1
+            return
+        network.channel_carried[self._x, self._y, self._di] += 1
+        network.messages_carried_total += 1
+        annotated = message.delivered_via(self.direction.opposite)
+        self.engine.schedule(self.latency, self.deliver, self.dst, annotated)
+
+    def take_down(self) -> None:
+        self._network.channel_up[self._x, self._y, self._di] = False
+
+
+class ChannelMap(Mapping):
+    """Read-through mapping ``(src, direction) -> ChannelView``.
+
+    Keys exist for every in-bounds directed link (up or down); views are
+    built on access instead of eagerly at network construction.
+    """
+
+    __slots__ = ("_network",)
+
+    def __init__(self, network: "MeshNetwork"):
+        self._network = network
+
+    def __getitem__(self, key: tuple[Coord, Direction]) -> ChannelView:
+        src, direction = key
+        view = self._network.channel_view(src, direction)
+        if view is None:
+            raise KeyError(key)
+        return view
+
+    def __iter__(self) -> Iterator[tuple[Coord, Direction]]:
+        mesh = self._network.mesh
+        for coord in mesh.nodes():
+            for direction, _neighbor in mesh.neighbor_items(coord):
+                yield (coord, direction)
+
+    def __len__(self) -> int:
+        mesh = self._network.mesh
+        # Two directed channels per undirected mesh edge.
+        return 2 * (mesh.n * (mesh.m - 1) + mesh.m * (mesh.n - 1))

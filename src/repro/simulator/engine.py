@@ -1,16 +1,37 @@
 """Discrete-event engine.
 
 A minimal, deterministic event queue: callbacks scheduled at simulated
-times, executed in time order (FIFO among equal timestamps via a
-monotonically increasing sequence number, so runs are reproducible).
+times, executed in time order (FIFO among equal timestamps, so runs are
+reproducible).
+
+Two interchangeable scheduler implementations sit behind ``Engine``:
+
+- ``"buckets"`` (the default) -- a tick-bucketed calendar queue in the
+  spirit of Brown's calendar queues (CACM 1988).  Every distinct timestamp
+  owns one FIFO bucket; a small heap orders the *distinct* timestamps.  The
+  mesh protocols all schedule at ``now + latency`` with one uniform
+  latency, so the heap holds only a handful of entries while the per-event
+  cost collapses to a dict probe plus a deque append/popleft -- no O(log n)
+  sift and no per-event wrapper object.
+- ``"heap"`` -- the classic binary heap over per-event records, kept as the
+  cross-validation reference (the property tests assert both schedulers
+  produce bit-identical event orders, message counts, and convergence
+  times).
+
+Both order events by (time, insertion order), so they are observationally
+identical for *any* timestamp pattern, not just uniform latencies.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+#: Scheduler implementations selectable via ``Engine(scheduler=...)``.
+SCHEDULERS = ("buckets", "heap")
 
 
 @dataclass(order=True)
@@ -21,57 +42,153 @@ class _Event:
     args: tuple[Any, ...] = field(compare=False, default=())
 
 
+class _HeapScheduler:
+    """The reference scheduler: one heap entry per event."""
+
+    __slots__ = ("_queue", "_sequence")
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._sequence = itertools.count()
+
+    def push(self, time: float, callback: Callable[..., None], args: tuple[Any, ...]) -> None:
+        heapq.heappush(self._queue, _Event(time, next(self._sequence), callback, args))
+
+    def peek_time(self) -> float:
+        return self._queue[0].time
+
+    def pop(self) -> tuple[float, Callable[..., None], tuple[Any, ...]]:
+        event = heapq.heappop(self._queue)
+        return event.time, event.callback, event.args
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class _BucketScheduler:
+    """Per-timestamp FIFO buckets; a heap orders only the distinct times.
+
+    Uniform-latency protocols keep at most two distinct timestamps pending
+    (``now`` and ``now + latency``), so pushes and pops are O(1) amortised.
+    Buckets are keyed by the exact float timestamp: equal floats share a
+    bucket (FIFO, matching the heap's sequence tiebreak) and distinct
+    floats are ordered by the times-heap (matching the heap's time order).
+    """
+
+    __slots__ = ("_buckets", "_times", "_count")
+
+    def __init__(self) -> None:
+        self._buckets: dict[float, deque[tuple[Callable[..., None], tuple[Any, ...]]]] = {}
+        self._times: list[float] = []
+        self._count = 0
+
+    def push(self, time: float, callback: Callable[..., None], args: tuple[Any, ...]) -> None:
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            bucket = self._buckets[time] = deque()
+            heapq.heappush(self._times, time)
+        bucket.append((callback, args))
+        self._count += 1
+
+    def peek_time(self) -> float:
+        return self._times[0]
+
+    def pop(self) -> tuple[float, Callable[..., None], tuple[Any, ...]]:
+        time = self._times[0]
+        bucket = self._buckets[time]
+        callback, args = bucket.popleft()
+        if not bucket:
+            del self._buckets[time]
+            heapq.heappop(self._times)
+        self._count -= 1
+        return time, callback, args
+
+    def __len__(self) -> int:
+        return self._count
+
+
 class Engine:
     """Time-ordered callback executor."""
 
-    def __init__(self) -> None:
+    __slots__ = ("now", "events_processed", "scheduler", "_impl")
+
+    def __init__(self, scheduler: str = "buckets") -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r} (use one of {SCHEDULERS})")
         self.now: float = 0.0
         self.events_processed: int = 0
-        self._queue: list[_Event] = []
-        self._sequence = itertools.count()
+        self.scheduler = scheduler
+        self._impl = _BucketScheduler() if scheduler == "buckets" else _HeapScheduler()
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated time units."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(
-            self._queue, _Event(self.now + delay, next(self._sequence), callback, args)
-        )
+        self._impl.push(self.now + delay, callback, args)
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._impl)
 
     def step(self) -> bool:
         """Process one event; returns False when the queue is empty."""
-        if not self._queue:
+        if not len(self._impl):
             return False
-        event = heapq.heappop(self._queue)
-        self.now = event.time
+        time, callback, args = self._impl.pop()
+        self.now = time
         self.events_processed += 1
-        event.callback(*event.args)
+        callback(*args)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Drain the queue; returns the number of events processed.
 
-        ``until`` stops before events later than the given time;
+        ``until`` stops before events later than the given time and leaves
+        the clock *at* the requested horizon (``now == until`` even when
+        the queue runs dry or the next event lies beyond it);
         ``max_events`` bounds runaway protocols (raises if exceeded).
 
-        ``events_processed`` (incremented by :meth:`step`) is the single
-        source of truth; this method counts against a snapshot of it, so the
-        lifetime total and the per-run count can never drift apart.
+        ``events_processed`` (incremented here and by :meth:`step`) is the
+        single source of truth; this method counts against a snapshot of
+        it, so the lifetime total and the per-run count can never drift
+        apart.
         """
         start = self.events_processed
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
-                break
-            if max_events is not None and self.events_processed - start >= max_events:
-                raise RuntimeError(
-                    f"event budget of {max_events} exhausted at t={self.now} "
-                    f"({self.pending} events pending)"
-                )
-            self.step()
+        impl = self._impl
+        if until is None and max_events is None:
+            # Hot path: nothing to check per event.
+            while len(impl):
+                time, callback, args = impl.pop()
+                self.now = time
+                self.events_processed += 1
+                callback(*args)
+        elif until is None:
+            limit = start + max_events
+            while len(impl):
+                if self.events_processed >= limit:
+                    raise RuntimeError(
+                        f"event budget of {max_events} exhausted at t={self.now} "
+                        f"({self.pending} events pending)"
+                    )
+                time, callback, args = impl.pop()
+                self.now = time
+                self.events_processed += 1
+                callback(*args)
+        else:
+            while len(impl):
+                if impl.peek_time() > until:
+                    break
+                if max_events is not None and self.events_processed - start >= max_events:
+                    raise RuntimeError(
+                        f"event budget of {max_events} exhausted at t={self.now} "
+                        f"({self.pending} events pending)"
+                    )
+                time, callback, args = impl.pop()
+                self.now = time
+                self.events_processed += 1
+                callback(*args)
+            if self.now < until:
+                self.now = until
         return self.events_processed - start
 
     def metrics_snapshot(self) -> dict[str, float | int]:

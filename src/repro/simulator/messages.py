@@ -8,16 +8,17 @@ from typing import Any
 from repro.mesh.geometry import Coord, Direction
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One hop-to-hop message.
 
     ``kind`` discriminates protocol message types (e.g. ``"esl"``,
     ``"boundary"``); ``payload`` is protocol-specific and must be treated as
-    immutable by receivers.  ``arrival_direction`` is filled in by the
-    channel on delivery: the direction the message *came from* as seen by
-    the receiver (the paper's FORMATION algorithm dispatches on exactly
-    this).
+    immutable by receivers.  ``arrival_direction`` is the direction the
+    message *came from* as seen by the receiver (the paper's FORMATION
+    algorithm dispatches on exactly this).  The network's fast path fills
+    it in at construction time -- one allocation per hop; external senders
+    going through :meth:`delivered_via` get an annotated copy instead.
     """
 
     src: Coord

@@ -1,18 +1,57 @@
-"""A mesh of node processes wired by channels."""
+"""A mesh of node processes wired by channels.
+
+Channel state is array-backed: three numpy arrays of shape ``(n, m, 4)``
+(indexed ``[x, y, direction]``) hold every directed link's up flag and
+carried/dropped counters, and two running totals make whole-network
+accounting O(1) instead of an O(n*m) channel scan.  ``network.channels``
+remains a mapping of API-compatible :class:`~repro.simulator.channels.ChannelView`
+objects, built lazily on access.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
 from repro.obs.prof import get_profiler
-from repro.simulator.channels import Channel
+from repro.simulator.channels import Channel, ChannelMap, ChannelView
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.process import NodeProcess
+
+#: Array index of each direction (definition order: E, S, W, N).
+_DIR_INDEX: dict[Direction, int] = {d: i for i, d in enumerate(Direction)}
+
+#: Delivery paths selectable via ``MeshNetwork(delivery=...)``: ``"fast"``
+#: is the zero-copy array-backed path; ``"legacy"`` is the seed
+#: implementation (eager per-channel objects, a ``delivered_via`` message
+#: copy per hop, tracer/profiler resolution per send, O(n*m) stats scans),
+#: kept for cross-validation and as the bench reference.
+DELIVERY_MODES = ("fast", "legacy")
+
+_NO_DIRS: frozenset[Direction] = frozenset()
+
+
+def adjacent_blocked_dirs(
+    mesh: Mesh2D, blocked: Iterable[Coord]
+) -> dict[Coord, frozenset[Direction]]:
+    """For each neighbour of a blocked node: the directions it sees blocked.
+
+    Protocol factories need ``{direction: neighbour is blocked}`` per node;
+    scanning ``neighbor_items`` for all ``n*m`` nodes is O(mesh), while
+    only fault-adjacent nodes ever have a non-empty set.  This builds the
+    sparse map in O(blocked); absent nodes mean "no blocked neighbour".
+    """
+    out: dict[Coord, set[Direction]] = {}
+    for coord in blocked:
+        for direction, neighbor in mesh.neighbor_items(coord):
+            out.setdefault(neighbor, set()).add(direction.opposite)
+    return {coord: frozenset(dirs) for coord, dirs in out.items()}
 
 
 @dataclass(frozen=True)
@@ -48,11 +87,17 @@ class MeshNetwork:
         faulty: Iterable[Coord] = (),
         latency: float = 1.0,
         tracer: Tracer | None = None,
+        delivery: str = "fast",
     ):
+        if delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"unknown delivery mode {delivery!r}; expected one of {DELIVERY_MODES}"
+            )
         self.mesh = mesh
         self.engine = engine
         self.latency = latency
         self.tracer = tracer
+        self.delivery = delivery
         self.faulty: set[Coord] = set(faulty)
         for coord in self.faulty:
             mesh.require_in_bounds(coord)
@@ -62,19 +107,77 @@ class MeshNetwork:
             for coord in mesh.nodes()
             if coord not in self.faulty
         }
-        self.channels: dict[tuple[Coord, Direction], Channel] = {}
-        for coord in mesh.nodes():
-            for direction, neighbor in mesh.neighbor_items(coord):
-                channel = Channel(
+
+        n, m = mesh.n, mesh.m
+        self._n, self._m = n, m
+        healthy = np.ones((n, m), dtype=bool)
+        for coord in self.faulty:
+            healthy[coord] = False
+        # A link is up iff it exists (neighbour in bounds) and both ends
+        # are healthy; out-of-bounds slots simply stay False forever.
+        up = np.zeros((n, m, 4), dtype=bool)
+        if n > 1:
+            up[:-1, :, _DIR_INDEX[Direction.EAST]] = healthy[:-1, :] & healthy[1:, :]
+            up[1:, :, _DIR_INDEX[Direction.WEST]] = healthy[1:, :] & healthy[:-1, :]
+        if m > 1:
+            up[:, 1:, _DIR_INDEX[Direction.SOUTH]] = healthy[:, 1:] & healthy[:, :-1]
+            up[:, :-1, _DIR_INDEX[Direction.NORTH]] = healthy[:, :-1] & healthy[:, 1:]
+        self.channel_up = up
+        self.channel_carried = np.zeros((n, m, 4), dtype=np.int64)
+        self.channel_dropped = np.zeros((n, m, 4), dtype=np.int64)
+        #: Running totals: O(1) whole-network accounting (stable API).
+        self.messages_carried_total = 0
+        self.messages_dropped_total = 0
+
+        if delivery == "legacy":
+            # The seed implementation: one eagerly built Channel object per
+            # directed link, re-resolved instrumentation and a per-hop
+            # ``delivered_via`` message copy on every send.  Kept for
+            # cross-validation against the fast path and as the bench
+            # reference (``sim.formation_large_heap``).
+            faulty = self.faulty
+            self.channels = {
+                (coord, direction): Channel(
                     src=coord,
                     dst=neighbor,
                     direction=direction,
                     latency=latency,
                     engine=engine,
                     deliver=self._deliver,
-                    up=coord not in self.faulty and neighbor not in self.faulty,
+                    up=coord not in faulty and neighbor not in faulty,
                 )
-                self.channels[(coord, direction)] = channel
+                for coord in mesh.nodes()
+                for direction, neighbor in mesh.neighbor_items(coord)
+            }
+            # Instance attribute shadows the class method for this network.
+            self.send_from = self._send_from_legacy  # type: ignore[method-assign]
+        else:
+            self.channels = ChannelMap(self)
+        self.refresh_instrumentation()
+
+    # ------------------------------------------------------------------
+    # Channel plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def direction_index(direction: Direction) -> int:
+        """Index of ``direction`` in the channel state arrays."""
+        return _DIR_INDEX[direction]
+
+    def channel_view(self, src: Coord, direction: Direction) -> ChannelView | None:
+        """A view of the ``src -> direction`` link; None at the mesh edge."""
+        dst = direction.step(src)
+        if not (self.mesh.in_bounds(src) and self.mesh.in_bounds(dst)):
+            return None
+        return ChannelView(self, src, dst, direction)
+
+    def take_down_channel(self, src: Coord, direction: Direction) -> None:
+        """Mark one directed link down (messages to it are dropped)."""
+        x, y = src
+        self.channel_up[x, y, _DIR_INDEX[direction]] = False
+        if self.delivery == "legacy":
+            channel = self.channels.get((src, direction))
+            if channel is not None:
+                channel.take_down()
 
     # ------------------------------------------------------------------
     # Message plumbing
@@ -82,8 +185,60 @@ class MeshNetwork:
     def _tracer(self) -> Tracer:
         return self.tracer if self.tracer is not None else get_tracer()
 
+    def refresh_instrumentation(self) -> None:
+        """Re-resolve the tracer/profiler into per-send fast-path flags.
+
+        ``send_from`` consults these cached flags instead of doing a
+        registry lookup per message; callers that install a tracer or
+        profiler *after* construction get them picked up at the next
+        :meth:`run` (which refreshes automatically) or by calling this.
+        """
+        trc = self.tracer if self.tracer is not None else get_tracer()
+        self._trc = trc
+        self._trace_on = trc.enabled
+        prof = get_profiler()
+        self._prof = prof
+        self._prof_on = prof.enabled
+
     def send_from(self, src: Coord, direction: Direction, kind: str, payload) -> bool:
         """Send one hop; False if the link does not exist (mesh edge)."""
+        x, y = src
+        dx, dy = direction.value
+        nx, ny = x + dx, y + dy
+        if nx < 0 or ny < 0 or nx >= self._n or ny >= self._m:
+            return False
+        di = _DIR_INDEX[direction]
+        link_up = self.channel_up[x, y, di]
+        if self._trace_on:
+            self._trc.emit("protocol_msg", msg=kind, src=src, direction=direction.name,
+                           time=self.engine.now, queue=self.engine.pending,
+                           dropped=not link_up)
+        if self._prof_on:
+            self._prof.count("sim.messages")
+        if not link_up:
+            self.channel_dropped[x, y, di] += 1
+            self.messages_dropped_total += 1
+            if self._prof_on:
+                self._prof.count("sim.dropped")
+            return True
+        self.channel_carried[x, y, di] += 1
+        self.messages_carried_total += 1
+        # One allocation per hop: the arrival direction is known here, so
+        # the message is born annotated (no delivered_via copy on arrival).
+        self.engine.schedule(
+            self.latency,
+            self._deliver,
+            (nx, ny),
+            Message(src, (nx, ny), kind, payload, direction.opposite),
+        )
+        return True
+
+    def _send_from_legacy(
+        self, src: Coord, direction: Direction, kind: str, payload
+    ) -> bool:
+        """The seed send path, preserved verbatim for ``delivery="legacy"``:
+        channel-dict lookup, tracer/profiler resolution per message, and a
+        second Message allocation on arrival (``delivered_via``)."""
         channel = self.channels.get((src, direction))
         if channel is None:
             return False
@@ -95,6 +250,8 @@ class MeshNetwork:
         prof = get_profiler()
         if prof.enabled:
             prof.count("sim.messages")
+            if not channel.up:
+                prof.count("sim.dropped")
         channel.send(Message(src=src, dst=channel.dst, kind=kind, payload=payload))
         return True
 
@@ -108,7 +265,8 @@ class MeshNetwork:
     # ------------------------------------------------------------------
     def run(self, max_events: int | None = None) -> NetworkStats:
         """Start every process and drain the engine to quiescence."""
-        trc = self._tracer()
+        self.refresh_instrumentation()
+        trc = self._trc
         with trc.span("network.run", nodes=len(self.nodes)):
             for process in self.nodes.values():
                 process.start()
@@ -116,9 +274,16 @@ class MeshNetwork:
             events = self.engine.run(max_events=budget)
         if trc.enabled:
             trc.emit("engine_run", events=events, **self.engine.metrics_snapshot())
+        if self.delivery == "legacy":
+            # The seed accounting: an O(n*m) scan over per-channel counters.
+            messages = sum(c.messages_carried for c in self.channels.values())
+            dropped = sum(c.messages_dropped for c in self.channels.values())
+        else:
+            messages = self.messages_carried_total
+            dropped = self.messages_dropped_total
         return NetworkStats(
-            messages=sum(c.messages_carried for c in self.channels.values()),
-            dropped=sum(c.messages_dropped for c in self.channels.values()),
+            messages=messages,
+            dropped=dropped,
             events=events,
             converged_at=self.engine.now,
         )

@@ -22,6 +22,8 @@ if TYPE_CHECKING:
 class NodeProcess(abc.ABC):
     """Protocol state machine bound to one mesh node."""
 
+    __slots__ = ("coord", "network")
+
     def __init__(self, coord: Coord, network: "MeshNetwork"):
         self.coord = coord
         self.network = network

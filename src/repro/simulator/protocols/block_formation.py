@@ -18,12 +18,16 @@ from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
-from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.network import MeshNetwork, NetworkStats, adjacent_blocked_dirs
 from repro.simulator.process import NodeProcess
+
+_NO_DIRS: frozenset[Direction] = frozenset()
 
 
 class BlockFormationProcess(NodeProcess):
     """State machine for one healthy node."""
+
+    __slots__ = ("unusable_dirs", "disabled")
 
     def __init__(self, coord: Coord, network: MeshNetwork, faulty_dirs: frozenset[Direction]):
         super().__init__(coord, network)
@@ -58,22 +62,22 @@ class BlockFormationResult:
 
 def run_block_formation(
     mesh: Mesh2D, faults: list[Coord], latency: float = 1.0,
-    tracer: Tracer | None = None,
+    tracer: Tracer | None = None, scheduler: str = "buckets",
+    delivery: str = "fast",
 ) -> BlockFormationResult:
     """Run the labelling protocol to quiescence."""
     fault_set = set(faults)
+    # Sparse O(faults) map instead of a neighbour scan per node: only
+    # fault-adjacent nodes start with a non-empty direction set.
+    faulty_dirs = adjacent_blocked_dirs(mesh, fault_set)
 
     def factory(coord: Coord, network: MeshNetwork) -> BlockFormationProcess:
-        faulty_dirs = frozenset(
-            direction
-            for direction, neighbor in mesh.neighbor_items(coord)
-            if neighbor in fault_set
-        )
-        return BlockFormationProcess(coord, network, faulty_dirs)
+        return BlockFormationProcess(coord, network, faulty_dirs.get(coord, _NO_DIRS))
 
     trc = tracer if tracer is not None else get_tracer()
     network = MeshNetwork(
-        mesh, Engine(), factory, faulty=fault_set, latency=latency, tracer=tracer
+        mesh, Engine(scheduler), factory, faulty=fault_set, latency=latency,
+        tracer=tracer, delivery=delivery,
     )
     with trc.span("protocol.block_formation", faults=len(fault_set)):
         stats = network.run()

@@ -35,8 +35,10 @@ from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
-from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.network import MeshNetwork, NetworkStats, adjacent_blocked_dirs
 from repro.simulator.process import NodeProcess
+
+_NO_DIRS: frozenset[Direction] = frozenset()
 
 #: Per line: (primary forwarding direction, detour direction when blocked).
 _FORWARDING = {
@@ -46,6 +48,8 @@ _FORWARDING = {
 
 
 class BoundaryProcess(NodeProcess):
+    __slots__ = ("blocked_dirs", "annotations", "known_rects")
+
     def __init__(self, coord: Coord, network: MeshNetwork, blocked_dirs: frozenset[Direction]):
         super().__init__(coord, network)
         self.blocked_dirs = blocked_dirs
@@ -97,22 +101,21 @@ def run_boundary_distribution(
     unusable: np.ndarray,
     latency: float = 1.0,
     tracer: Tracer | None = None,
+    scheduler: str = "buckets",
+    delivery: str = "fast",
 ) -> BoundaryDistributionResult:
     """Distribute L1 and L3 information for every block (canonical
     quadrant-I orientation)."""
     blocked_coords = {(int(x), int(y)) for x, y in zip(*np.nonzero(unusable))}
+    blocked_dirs = adjacent_blocked_dirs(mesh, blocked_coords)
 
     def factory(coord: Coord, network: MeshNetwork) -> BoundaryProcess:
-        blocked_dirs = frozenset(
-            direction
-            for direction, neighbor in mesh.neighbor_items(coord)
-            if neighbor in blocked_coords
-        )
-        return BoundaryProcess(coord, network, blocked_dirs)
+        return BoundaryProcess(coord, network, blocked_dirs.get(coord, _NO_DIRS))
 
     trc = tracer if tracer is not None else get_tracer()
     network = MeshNetwork(
-        mesh, Engine(), factory, faulty=blocked_coords, latency=latency, tracer=tracer
+        mesh, Engine(scheduler), factory, faulty=blocked_coords, latency=latency,
+        tracer=tracer, delivery=delivery,
     )
     for index, rect in enumerate(rects):
         _seed_l1(mesh, network, index, rect)

@@ -35,6 +35,8 @@ from repro.simulator.process import NodeProcess
 class DynamicNode(NodeProcess):
     """Block labelling plus ESL maintenance under live fault injection."""
 
+    __slots__ = ("unusable_dirs", "disabled", "levels")
+
     def __init__(self, coord: Coord, network: MeshNetwork):
         super().__init__(coord, network)
         self.unusable_dirs: set[Direction] = set()
@@ -95,10 +97,10 @@ class InjectionReport:
 class DynamicMesh:
     """A live mesh: inject faults one at a time, information stays consistent."""
 
-    def __init__(self, mesh: Mesh2D, latency: float = 1.0):
+    def __init__(self, mesh: Mesh2D, latency: float = 1.0, scheduler: str = "buckets"):
         self.mesh = mesh
         self.latency = latency
-        self.engine = Engine()
+        self.engine = Engine(scheduler)
         self.network = MeshNetwork(mesh, self.engine, DynamicNode, latency=latency)
         self.faults: list[Coord] = []
         self.reports: list[InjectionReport] = []
@@ -116,12 +118,13 @@ class DynamicMesh:
         self.faults.append(coord)
 
         disabled_before = self._count_disabled()
-        messages_before = sum(c.messages_carried for c in self.network.channels.values())
+        # O(1) running totals instead of an O(n*m) per-channel scan.
+        messages_before = self.network.messages_carried_total
         events_before = self.engine.events_processed
 
         for direction, neighbor in self.mesh.neighbor_items(coord):
-            self.network.channels[(coord, direction)].take_down()
-            self.network.channels[(neighbor, direction.opposite)].take_down()
+            self.network.take_down_channel(coord, direction)
+            self.network.take_down_channel(neighbor, direction.opposite)
             process = self.network.nodes.get(neighbor)
             if isinstance(process, DynamicNode):
                 # Failure detection after one link latency.
@@ -129,12 +132,12 @@ class DynamicMesh:
                     self.latency, process.neighbor_became_unusable, direction.opposite
                 )
 
+        self.network.refresh_instrumentation()
         self.engine.run(max_events=200 * self.mesh.size + 10_000)
 
         report = InjectionReport(
             fault=coord,
-            messages=sum(c.messages_carried for c in self.network.channels.values())
-            - messages_before,
+            messages=self.network.messages_carried_total - messages_before,
             events=self.engine.events_processed - events_before,
             newly_disabled=self._count_disabled() - disabled_before,
             settled_at=self.engine.now,
@@ -179,4 +182,5 @@ class DynamicMesh:
 
     @property
     def total_messages(self) -> int:
-        return sum(c.messages_carried for c in self.network.channels.values())
+        """Lifetime carried-message count (O(1) running total)."""
+        return self.network.messages_carried_total

@@ -20,8 +20,10 @@ from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
-from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.network import MeshNetwork, NetworkStats, adjacent_blocked_dirs
 from repro.simulator.process import NodeProcess
+
+_NO_DIRS: frozenset[Direction] = frozenset()
 
 
 def _rule_directions(mcc_type: MCCType, label: NodeStatus) -> tuple[Direction, Direction]:
@@ -31,6 +33,8 @@ def _rule_directions(mcc_type: MCCType, label: NodeStatus) -> tuple[Direction, D
 
 
 class MCCFormationProcess(NodeProcess):
+    __slots__ = ("mcc_type", "blocked_dirs", "labels")
+
     def __init__(
         self,
         coord: Coord,
@@ -77,21 +81,21 @@ class MCCFormationResult:
 
 def run_mcc_formation(
     mesh: Mesh2D, faults: list[Coord], mcc_type: MCCType, latency: float = 1.0,
-    tracer: Tracer | None = None,
+    tracer: Tracer | None = None, scheduler: str = "buckets",
+    delivery: str = "fast",
 ) -> MCCFormationResult:
     fault_set = set(faults)
+    faulty_dirs = adjacent_blocked_dirs(mesh, fault_set)
 
     def factory(coord: Coord, network: MeshNetwork) -> MCCFormationProcess:
-        faulty_dirs = frozenset(
-            direction
-            for direction, neighbor in mesh.neighbor_items(coord)
-            if neighbor in fault_set
+        return MCCFormationProcess(
+            coord, network, faulty_dirs.get(coord, _NO_DIRS), mcc_type
         )
-        return MCCFormationProcess(coord, network, faulty_dirs, mcc_type)
 
     trc = tracer if tracer is not None else get_tracer()
     network = MeshNetwork(
-        mesh, Engine(), factory, faulty=fault_set, latency=latency, tracer=tracer
+        mesh, Engine(scheduler), factory, faulty=fault_set, latency=latency,
+        tracer=tracer, delivery=delivery,
     )
     with trc.span("protocol.mcc_formation", faults=len(fault_set)):
         stats = network.run()

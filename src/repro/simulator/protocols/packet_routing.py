@@ -30,6 +30,8 @@ from repro.simulator.process import NodeProcess
 class PacketForwardingProcess(NodeProcess):
     """Forwards packets one hop per delivery using a shared hop function."""
 
+    __slots__ = ("hop_router", "delivered")
+
     def __init__(self, coord: Coord, network: MeshNetwork, hop_router: HopRouter):
         super().__init__(coord, network)
         self.hop_router = hop_router
@@ -85,6 +87,7 @@ def run_distributed_routing(
     unusable_coords: set[Coord],
     traffic: list[tuple[Coord, Coord]],
     latency: float = 1.0,
+    scheduler: str = "buckets",
 ) -> DistributedRoutingRun:
     """Route ``traffic`` (source, dest pairs) as simulator messages.
 
@@ -92,7 +95,7 @@ def run_distributed_routing(
     packet mistakenly forwarded at them would be dropped by the channel,
     but a correct hop function never does that.
     """
-    engine = Engine()
+    engine = Engine(scheduler)
     network = MeshNetwork(
         mesh,
         engine,

@@ -28,6 +28,8 @@ ESL = tuple[int, int, int, int]
 
 
 class PivotBroadcastProcess(NodeProcess):
+    __slots__ = ("own_esl", "is_pivot", "pivot_table")
+
     def __init__(self, coord: Coord, network: MeshNetwork, own_esl: ESL, is_pivot: bool):
         super().__init__(coord, network)
         self.own_esl = own_esl
@@ -64,6 +66,8 @@ def run_pivot_broadcast(
     pivots: list[Coord],
     latency: float = 1.0,
     tracer: Tracer | None = None,
+    scheduler: str = "buckets",
+    delivery: str = "fast",
 ) -> PivotBroadcastResult:
     """Flood every pivot's ESL through the free part of the mesh.
 
@@ -86,7 +90,8 @@ def run_pivot_broadcast(
 
     trc = tracer if tracer is not None else get_tracer()
     network = MeshNetwork(
-        mesh, Engine(), factory, faulty=blocked_coords, latency=latency, tracer=tracer
+        mesh, Engine(scheduler), factory, faulty=blocked_coords, latency=latency,
+        tracer=tracer, delivery=delivery,
     )
     with trc.span("protocol.pivot_broadcast", pivots=len(pivot_set)):
         stats = network.run()

@@ -28,8 +28,10 @@ from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
-from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.network import MeshNetwork, NetworkStats, adjacent_blocked_dirs
 from repro.simulator.process import NodeProcess
+
+_NO_DIRS: frozenset[Direction] = frozenset()
 
 
 class RegionExchangeProcess(NodeProcess):
@@ -40,6 +42,8 @@ class RegionExchangeProcess(NodeProcess):
     y-position -> East-level.  The perpendicular levels are what Theorem 1b
     consults.
     """
+
+    __slots__ = ("blocked_dirs", "row_samples", "column_samples")
 
     def __init__(
         self,
@@ -101,6 +105,8 @@ def run_region_exchange(
     levels: SafetyLevels,
     latency: float = 1.0,
     tracer: Tracer | None = None,
+    scheduler: str = "buckets",
+    delivery: str = "fast",
 ) -> RegionExchangeResult:
     """Run the two-end accumulation over every region of the mesh.
 
@@ -109,24 +115,21 @@ def run_region_exchange(
     spreads the perpendicular components within each region.
     """
     blocked_coords = {(int(x), int(y)) for x, y in zip(*np.nonzero(unusable))}
+    blocked_dirs_map = adjacent_blocked_dirs(mesh, blocked_coords)
 
     def factory(coord: Coord, network: MeshNetwork) -> RegionExchangeProcess:
-        blocked_dirs = frozenset(
-            direction
-            for direction, neighbor in mesh.neighbor_items(coord)
-            if neighbor in blocked_coords
-        )
         return RegionExchangeProcess(
             coord,
             network,
             north_level=int(levels.north[coord]),
             east_level=int(levels.east[coord]),
-            blocked_dirs=blocked_dirs,
+            blocked_dirs=blocked_dirs_map.get(coord, _NO_DIRS),
         )
 
     trc = tracer if tracer is not None else get_tracer()
     network = MeshNetwork(
-        mesh, Engine(), factory, faulty=blocked_coords, latency=latency, tracer=tracer
+        mesh, Engine(scheduler), factory, faulty=blocked_coords, latency=latency,
+        tracer=tracer, delivery=delivery,
     )
     with trc.span("protocol.region_exchange", blocked=len(blocked_coords)):
         stats = network.run()

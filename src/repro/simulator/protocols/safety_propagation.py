@@ -24,11 +24,15 @@ from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
-from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.network import MeshNetwork, NetworkStats, adjacent_blocked_dirs
 from repro.simulator.process import NodeProcess
+
+_NO_DIRS: frozenset[Direction] = frozenset()
 
 
 class SafetyFormationProcess(NodeProcess):
+    __slots__ = ("levels", "_blocked_dirs")
+
     def __init__(self, coord: Coord, network: MeshNetwork, blocked_dirs: frozenset[Direction]):
         super().__init__(coord, network)
         self.levels: dict[Direction, int] = {d: UNBOUNDED for d in Direction}
@@ -69,7 +73,8 @@ class SafetyPropagationResult:
 
 def run_safety_propagation(
     mesh: Mesh2D, unusable: np.ndarray, latency: float = 1.0,
-    tracer: Tracer | None = None,
+    tracer: Tracer | None = None, scheduler: str = "buckets",
+    delivery: str = "fast",
 ) -> SafetyPropagationResult:
     """Run the FORMATION algorithm over the blocked-node grid.
 
@@ -77,18 +82,15 @@ def run_safety_propagation(
     no meaning (the centralized counterpart is only compared on free nodes).
     """
     blocked_coords = {(int(x), int(y)) for x, y in zip(*np.nonzero(unusable))}
+    blocked_dirs = adjacent_blocked_dirs(mesh, blocked_coords)
 
     def factory(coord: Coord, network: MeshNetwork) -> SafetyFormationProcess:
-        blocked_dirs = frozenset(
-            direction
-            for direction, neighbor in mesh.neighbor_items(coord)
-            if neighbor in blocked_coords
-        )
-        return SafetyFormationProcess(coord, network, blocked_dirs)
+        return SafetyFormationProcess(coord, network, blocked_dirs.get(coord, _NO_DIRS))
 
     trc = tracer if tracer is not None else get_tracer()
     network = MeshNetwork(
-        mesh, Engine(), factory, faulty=blocked_coords, latency=latency, tracer=tracer
+        mesh, Engine(scheduler), factory, faulty=blocked_coords, latency=latency,
+        tracer=tracer, delivery=delivery,
     )
     with trc.span("protocol.safety_propagation", blocked=len(blocked_coords)):
         stats = network.run()

@@ -31,9 +31,15 @@ import numpy as np
 
 from repro.mesh.geometry import Coord, manhattan_distance
 from repro.mesh.topology import Mesh2D
+from repro.parallel.cache import ArtifactCache
 from repro.routing.packet import Packet, PacketStatus
 from repro.routing.path import Path
 from repro.routing.router import RoutingError
+
+#: Bound on cached (source, dest) -> Path entries per policy.  Long traffic
+#: runs revisit recent pairs far more often than old ones, so an LRU of
+#: this size keeps the hit rate while capping memory.
+PATH_CACHE_MAXSIZE = 1024
 
 
 class RoutingPolicy(Protocol):
@@ -44,19 +50,24 @@ class RoutingPolicy(Protocol):
 
 @dataclass
 class PathPolicy:
-    """Adapter: follow a precomputed path (for whole-route routers)."""
+    """Adapter: follow a precomputed path (for whole-route routers).
+
+    Routes are memoised in a bounded LRU (:class:`repro.parallel.cache.ArtifactCache`),
+    so unbounded workloads cannot grow memory without limit.
+    """
 
     route: Callable[[Coord, Coord], Path]
-    _cache: dict[tuple[Coord, Coord], Path] = field(default_factory=dict)
+    _cache: ArtifactCache = field(
+        default_factory=lambda: ArtifactCache(maxsize=PATH_CACHE_MAXSIZE), repr=False
+    )
 
     def next_hop(self, current: Coord, dest: Coord) -> Coord:
         raise NotImplementedError("PathPolicy packets carry their own cursor")
 
     def path_for(self, source: Coord, dest: Coord) -> Path:
-        key = (source, dest)
-        if key not in self._cache:
-            self._cache[key] = self.route(source, dest)
-        return self._cache[key]
+        return self._cache.get_or_build(
+            (source, dest), lambda: self.route(source, dest)
+        )
 
 
 @dataclass

@@ -1,0 +1,307 @@
+"""Simulator fast path: scheduler equivalence, O(1) accounting, cache bounds.
+
+The tick-bucketed scheduler must be observationally identical to the
+reference heap scheduler -- bit-identical event order, message counts, and
+convergence times -- on every protocol the repo ships, including a live
+``DynamicMesh`` injection sequence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.safety import compute_safety_levels
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import injection_sequence, uniform_faults
+from repro.faults.mcc import MCCType
+from repro.mesh.geometry import Direction
+from repro.mesh.topology import Mesh2D
+from repro.parallel.cache import ArtifactCache
+from repro.simulator.engine import SCHEDULERS, Engine
+from repro.simulator.messages import Message
+from repro.simulator.network import MeshNetwork
+from repro.simulator.process import NodeProcess
+from repro.simulator.protocols import (
+    run_block_formation,
+    run_boundary_distribution,
+    run_mcc_formation,
+    run_pivot_broadcast,
+    run_region_exchange,
+    run_safety_propagation,
+)
+from repro.simulator.protocols.dynamic_update import DynamicMesh
+from repro.simulator.traffic import PathPolicy
+
+
+# ----------------------------------------------------------------------
+# Engine.run(until=...) clock regression
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+class TestRunUntilAdvancesClock:
+    def test_clock_reaches_horizon_when_next_event_is_later(self, scheduler):
+        engine = Engine(scheduler)
+        hits = []
+        for t in (1.0, 5.0):
+            engine.schedule(t, hits.append, t)
+        engine.run(until=3.0)
+        assert hits == [1.0]
+        assert engine.pending == 1
+        # The clock must sit at the requested horizon, not lag at t=1.
+        assert engine.now == 3.0
+
+    def test_clock_reaches_horizon_when_queue_drains(self, scheduler):
+        engine = Engine(scheduler)
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=7.5)
+        assert engine.pending == 0
+        assert engine.now == 7.5
+
+    def test_resumed_run_schedules_relative_to_horizon(self, scheduler):
+        engine = Engine(scheduler)
+        engine.run(until=10.0)
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.now == 11.0
+
+
+# ----------------------------------------------------------------------
+# Property: bucket scheduler is bit-identical to the heap scheduler
+# ----------------------------------------------------------------------
+class TestSchedulerOrderProperty:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_identical_event_order_on_random_schedules(self, seed):
+        """Random delays (with deliberate timestamp collisions) plus nested
+        rescheduling produce the same (time, tag) trace on both schedulers."""
+        delays = [0.0, 0.5, 1.0, 1.0, 1.5, 2.0, 2.5]
+
+        def trace(scheduler: str) -> list[tuple[float, int]]:
+            rng = np.random.default_rng(seed)
+            engine = Engine(scheduler)
+            log: list[tuple[float, int]] = []
+            counter = [0]
+
+            def fire(tag: int, depth: int) -> None:
+                log.append((engine.now, tag))
+                if depth > 0:
+                    for _ in range(int(rng.integers(0, 3))):
+                        counter[0] += 1
+                        engine.schedule(
+                            delays[int(rng.integers(len(delays)))],
+                            fire, counter[0], depth - 1,
+                        )
+
+            for _ in range(20):
+                counter[0] += 1
+                engine.schedule(delays[int(rng.integers(len(delays)))],
+                                fire, counter[0], 3)
+            engine.run()
+            return log
+
+        heap_log = trace("heap")
+        bucket_log = trace("buckets")
+        assert bucket_log == heap_log
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Engine("calendar")
+
+
+# ----------------------------------------------------------------------
+# Protocol-level equivalence: heap vs buckets on every protocol
+# ----------------------------------------------------------------------
+def _scenario(side=16, fault_count=14, seed=11):
+    mesh = Mesh2D(side, side)
+    rng = np.random.default_rng(seed)
+    faults = uniform_faults(mesh, fault_count, rng, forbidden={mesh.center})
+    blocks = build_faulty_blocks(mesh, faults)
+    return mesh, faults, blocks
+
+
+class TestProtocolSchedulerEquivalence:
+    def test_block_formation(self):
+        mesh, faults, _ = _scenario()
+        heap = run_block_formation(mesh, faults, scheduler="heap")
+        buckets = run_block_formation(mesh, faults, scheduler="buckets")
+        assert np.array_equal(heap.unusable, buckets.unusable)
+        assert heap.stats == buckets.stats
+
+    def test_block_formation_legacy_delivery(self):
+        """The seed path (heap + legacy delivery) matches the fast path."""
+        mesh, faults, _ = _scenario()
+        seed = run_block_formation(mesh, faults, scheduler="heap", delivery="legacy")
+        fast = run_block_formation(mesh, faults)
+        assert np.array_equal(seed.unusable, fast.unusable)
+        assert seed.stats == fast.stats
+
+    def test_safety_propagation(self):
+        mesh, _, blocks = _scenario()
+        heap = run_safety_propagation(mesh, blocks.unusable, scheduler="heap")
+        buckets = run_safety_propagation(mesh, blocks.unusable, scheduler="buckets")
+        for direction in ("east", "south", "west", "north"):
+            assert np.array_equal(
+                getattr(heap.levels, direction), getattr(buckets.levels, direction)
+            )
+        assert heap.stats == buckets.stats
+
+    def test_safety_propagation_legacy_delivery(self):
+        mesh, _, blocks = _scenario()
+        seed = run_safety_propagation(
+            mesh, blocks.unusable, scheduler="heap", delivery="legacy"
+        )
+        fast = run_safety_propagation(mesh, blocks.unusable)
+        for direction in ("east", "south", "west", "north"):
+            assert np.array_equal(
+                getattr(seed.levels, direction), getattr(fast.levels, direction)
+            )
+        assert seed.stats == fast.stats
+
+    def test_unknown_delivery_rejected(self):
+        mesh = Mesh2D(3, 3)
+        with pytest.raises(ValueError):
+            MeshNetwork(mesh, Engine(), _Sink, delivery="teleport")
+
+    def test_boundary_distribution(self):
+        mesh, _, blocks = _scenario()
+        rects = blocks.rects()
+        heap = run_boundary_distribution(mesh, rects, blocks.unusable, scheduler="heap")
+        buckets = run_boundary_distribution(
+            mesh, rects, blocks.unusable, scheduler="buckets"
+        )
+        assert heap.annotations == buckets.annotations
+        assert heap.stats == buckets.stats
+
+    def test_mcc_formation(self):
+        mesh, faults, _ = _scenario()
+        heap = run_mcc_formation(mesh, faults, MCCType.TYPE_ONE, scheduler="heap")
+        buckets = run_mcc_formation(mesh, faults, MCCType.TYPE_ONE, scheduler="buckets")
+        assert np.array_equal(heap.status, buckets.status)
+        assert heap.stats == buckets.stats
+
+    def test_region_exchange(self):
+        mesh, _, blocks = _scenario()
+        levels = compute_safety_levels(mesh, blocks.unusable)
+        heap = run_region_exchange(mesh, blocks.unusable, levels, scheduler="heap")
+        buckets = run_region_exchange(mesh, blocks.unusable, levels, scheduler="buckets")
+        assert heap.row_knowledge == buckets.row_knowledge
+        assert heap.column_knowledge == buckets.column_knowledge
+        assert heap.stats == buckets.stats
+
+    def test_pivot_broadcast(self):
+        mesh, _, blocks = _scenario()
+        levels = compute_safety_levels(mesh, blocks.unusable)
+        pivots = [(2, 2), (13, 4), (7, 12)]
+        heap = run_pivot_broadcast(
+            mesh, blocks.unusable, levels, pivots, scheduler="heap"
+        )
+        buckets = run_pivot_broadcast(
+            mesh, blocks.unusable, levels, pivots, scheduler="buckets"
+        )
+        assert heap.tables == buckets.tables
+        assert heap.stats == buckets.stats
+
+    def test_dynamic_mesh_ten_faults(self):
+        mesh = Mesh2D(14, 14)
+        faults = injection_sequence(mesh, 10, np.random.default_rng(5))
+
+        def run(scheduler):
+            dynamic = DynamicMesh(mesh, scheduler=scheduler)
+            for fault in faults:
+                dynamic.inject_fault(fault)
+            return dynamic
+
+        heap, buckets = run("heap"), run("buckets")
+        # Identical InjectionReports (frozen dataclasses), ESL grids, blocks.
+        assert heap.reports == buckets.reports
+        assert np.array_equal(heap.unusable_grid(), buckets.unusable_grid())
+        for direction in ("east", "south", "west", "north"):
+            assert np.array_equal(
+                getattr(heap.safety_levels(), direction),
+                getattr(buckets.safety_levels(), direction),
+            )
+        assert heap.total_messages == buckets.total_messages
+
+
+# ----------------------------------------------------------------------
+# Array-backed channel state and O(1) accounting
+# ----------------------------------------------------------------------
+class _Sink(NodeProcess):
+    def on_message(self, message: Message) -> None:
+        pass
+
+
+class TestChannelArrays:
+    def test_running_totals_match_per_channel_sums(self):
+        mesh = Mesh2D(14, 14)
+        dynamic = DynamicMesh(mesh)
+        for fault in injection_sequence(mesh, 8, np.random.default_rng(3)):
+            dynamic.inject_fault(fault)
+        network = dynamic.network
+        assert dynamic.total_messages == sum(
+            c.messages_carried for c in network.channels.values()
+        )
+        assert dynamic.total_messages == sum(r.messages for r in dynamic.reports)
+        assert network.messages_dropped_total == sum(
+            c.messages_dropped for c in network.channels.values()
+        )
+
+    def test_channel_map_is_lazy_and_consistent(self):
+        mesh = Mesh2D(3, 2)
+        network = MeshNetwork(mesh, Engine(), _Sink)
+        # 2 directed channels per undirected edge: 3*1 vertical + 2*2 horizontal.
+        assert len(network.channels) == 2 * (3 * 1 + 2 * 2)
+        assert set(network.channels) == {
+            (coord, direction)
+            for coord in mesh.nodes()
+            for direction, _ in mesh.neighbor_items(coord)
+        }
+        assert network.channels.get(((0, 0), Direction.WEST)) is None
+        with pytest.raises(KeyError):
+            network.channels[((0, 0), Direction.WEST)]
+
+    def test_view_counters_and_take_down(self):
+        mesh = Mesh2D(3, 1)
+        network = MeshNetwork(mesh, Engine(), _Sink)
+        network.send_from((0, 0), Direction.EAST, "ping", None)
+        channel = network.channels[((0, 0), Direction.EAST)]
+        assert channel.up and channel.messages_carried == 1
+        assert "up" in str(channel)
+        channel.take_down()
+        # Views are stateless facades: a fresh view sees the same state.
+        assert not network.channels[((0, 0), Direction.EAST)].up
+        network.send_from((0, 0), Direction.EAST, "ping", None)
+        assert network.channels[((0, 0), Direction.EAST)].messages_dropped == 1
+        assert network.messages_dropped_total == 1
+
+    def test_external_channel_send_counts_into_totals(self):
+        mesh = Mesh2D(2, 1)
+        network = MeshNetwork(mesh, Engine(), _Sink)
+        channel = network.channels[((0, 0), Direction.EAST)]
+        channel.send(Message(src=(0, 0), dst=(1, 0), kind="x"))
+        assert network.messages_carried_total == 1
+        assert channel.messages_carried == 1
+
+
+# ----------------------------------------------------------------------
+# Bounded PathPolicy cache
+# ----------------------------------------------------------------------
+class TestPathPolicyCacheBound:
+    def test_cache_is_bounded_lru(self):
+        calls = []
+
+        def route(source, dest):
+            calls.append((source, dest))
+            return (source, dest)
+
+        policy = PathPolicy(route, ArtifactCache(maxsize=4))
+        for i in range(10):
+            policy.path_for((0, 0), (i, i))
+        assert len(calls) == 10
+        assert len(policy._cache) == 4
+        # Recent entries hit; evicted entries rebuild.
+        policy.path_for((0, 0), (9, 9))
+        assert len(calls) == 10
+        policy.path_for((0, 0), (0, 0))
+        assert len(calls) == 11
+
+    def test_default_cache_is_bounded(self):
+        policy = PathPolicy(lambda s, d: (s, d))
+        assert policy._cache.maxsize == 1024
