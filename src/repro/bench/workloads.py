@@ -230,6 +230,34 @@ def builtin_registry() -> BenchRegistry:
             dynamic.inject_fault(fault)
         return dynamic.total_messages
 
+    def chaos_setup(config):
+        from repro.mesh.topology import Mesh2D
+
+        side = _size(config, 32, 16)
+        return Mesh2D(side, side)
+
+    @registry.register(
+        "sim.chaos_recovery", kind="macro", setup=chaos_setup,
+        description="hardened protocols under 5% loss + crash/revive schedule, "
+                    "verified against the batch oracles",
+        repeats=3, quick_repeats=1,
+    )
+    def run_chaos_recovery(state):
+        from repro.chaos import ChannelFaultPlan, ChaosSchedule, verify_convergence
+        from repro.faults.injection import uniform_faults
+
+        mesh = state
+        rng = np.random.default_rng(2002)
+        faults = uniform_faults(mesh, mesh.size // 40, rng)
+        plan = ChannelFaultPlan(drop=0.05, duplicate=0.02, corrupt=0.01, seed=11)
+        schedule = ChaosSchedule.random(mesh, rng, events=8, forbidden=set(faults))
+        report = verify_convergence(
+            mesh, faults, plan, schedule, sample_pairs=16, seed=5
+        )
+        if not report.ok:
+            raise RuntimeError(f"chaos recovery diverged: {report.summary()}")
+        return report.outcome.stats.messages
+
     def batch_setup(config):
         from repro.core.safety import compute_safety_levels
         from repro.faults.blocks import build_faulty_blocks

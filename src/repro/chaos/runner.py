@@ -1,0 +1,207 @@
+"""Drive the hardened dynamic-update protocol under chaos.
+
+A :class:`ChaosRunner` owns one mesh network of hardened
+:class:`~repro.simulator.protocols.dynamic_update.DynamicNode` processes
+and subjects it to a :class:`~repro.chaos.plan.ChannelFaultPlan` (per-hop
+drop/duplicate/corrupt/jitter) plus a
+:class:`~repro.chaos.schedule.ChaosSchedule` (crash/revive at arbitrary
+ticks) in a single drain -- unlike
+:class:`~repro.simulator.protocols.dynamic_update.DynamicMesh`, events
+are *not* separated by quiescent points, so protocol waves and membership
+changes genuinely interleave.
+
+After the schedule plays out, reset-based stabilization pulses (see
+:mod:`repro.simulator.protocols.reliable`) restart every live node
+against the final fault set; :func:`repro.chaos.verify.verify_convergence`
+then compares the surviving distributed state with the batch oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.chaos.plan import ChannelFaultPlan
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule
+from repro.core.safety import SafetyLevels
+from repro.mesh.geometry import Coord, Direction
+from repro.mesh.topology import Mesh2D
+from repro.obs.prof import get_profiler
+from repro.simulator.engine import Engine
+from repro.simulator.network import MeshNetwork, NetworkStats
+from repro.simulator.protocols.dynamic_update import DynamicNode
+from repro.simulator.protocols.reliable import chaos_event_budget, stabilize_network
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """What one chaos run did and what it cost."""
+
+    stats: NetworkStats
+    applied: int
+    skipped: int
+    crashed: tuple[Coord, ...]
+    revived: tuple[Coord, ...]
+    final_faults: tuple[Coord, ...]
+    reconverge_events: int
+    reconverge_ticks: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.applied} chaos events applied ({self.skipped} skipped): "
+            f"{len(self.crashed)} crashes, {len(self.revived)} revivals -> "
+            f"{len(self.final_faults)} final faults; "
+            f"reconverged in {self.reconverge_events} events / "
+            f"{self.reconverge_ticks:g} ticks; {self.stats}"
+        )
+
+
+class ChaosRunner:
+    """One hardened network plus the machinery to torment it."""
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        faults: Iterable[Coord] = (),
+        plan: ChannelFaultPlan | None = None,
+        schedule: ChaosSchedule | None = None,
+        latency: float = 1.0,
+        scheduler: str = "buckets",
+        stabilize_rounds: int = 1,
+    ):
+        self.mesh = mesh
+        self.plan = plan
+        self.schedule = schedule if schedule is not None else ChaosSchedule()
+        self.latency = latency
+        self.stabilize_rounds = stabilize_rounds
+        self.engine = Engine(scheduler)
+
+        def factory(coord: Coord, network: MeshNetwork) -> DynamicNode:
+            return DynamicNode(coord, network, hardened=True)
+
+        self._factory = factory
+        self.network = MeshNetwork(
+            mesh, self.engine, factory, faulty=faults, latency=latency, chaos=plan
+        )
+        self.crashed: list[Coord] = []
+        self.revived: list[Coord] = []
+        self.skipped: list[ChaosEvent] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> ChaosOutcome:
+        """Play the schedule under the plan and stabilize; idempotent."""
+        if self._ran:
+            raise RuntimeError("a ChaosRunner is single-use; build a new one")
+        self._ran = True
+        network, engine = self.network, self.engine
+
+        # Initial faults are detected by their neighbours after one link
+        # latency, like a DynamicMesh injection at t=0.
+        for coord in sorted(network.faulty):
+            for direction, neighbor in self.mesh.neighbor_items(coord):
+                engine.schedule(
+                    self.latency, self._notify_down, neighbor, direction.opposite
+                )
+        # Chaos events land at absolute ticks, interleaved with protocol
+        # traffic (engine.now is 0 here, so delay == absolute time).
+        for event in self.schedule:
+            engine.schedule(event.time, self._apply, event)
+
+        budget = chaos_event_budget(network)
+        network.run(max_events=budget)
+        chaos_settled_at = engine.now
+
+        reconverge_events = stabilize_network(network, rounds=self.stabilize_rounds)
+
+        return ChaosOutcome(
+            stats=network.current_stats(),
+            applied=len(self.crashed) + len(self.revived),
+            skipped=len(self.skipped),
+            crashed=tuple(self.crashed),
+            revived=tuple(self.revived),
+            final_faults=tuple(sorted(network.faulty)),
+            reconverge_events=reconverge_events,
+            reconverge_ticks=engine.now - chaos_settled_at,
+        )
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def _apply(self, event: ChaosEvent) -> None:
+        prof = get_profiler()
+        if event.action == "crash":
+            if event.coord in self.network.faulty:
+                self.skipped.append(event)
+                return
+            self.network.fail_node(event.coord)
+            self.crashed.append(event.coord)
+            if prof.enabled:
+                prof.count("chaos.crashes")
+            for direction, neighbor in self.mesh.neighbor_items(event.coord):
+                self.engine.schedule(
+                    self.latency, self._notify_down, neighbor, direction.opposite
+                )
+        else:  # revive
+            if event.coord not in self.network.faulty or event.coord not in self.crashed:
+                # Never revive an *initial* fault: those model permanently
+                # dead hardware, not crashed software.
+                self.skipped.append(event)
+                return
+            # Fence off every in-flight message and pending retransmit:
+            # the revived node restarts its sequence numbers, and stale
+            # (epoch, seq) pairs must not collide with fresh ones.
+            self.network.chaos_epoch += 1
+            process = self.network.restore_node(event.coord, self._factory)
+            self.revived.append(event.coord)
+            if prof.enabled:
+                prof.count("chaos.revives")
+            process.local_restart()
+            for direction, neighbor in self.mesh.neighbor_items(event.coord):
+                self.engine.schedule(
+                    self.latency, self._notify_up, neighbor, direction.opposite
+                )
+
+    def _notify_down(self, coord: Coord, direction: Direction) -> None:
+        """Failure detection: resolved at fire time, because the observer
+        itself may have crashed (or been replaced) in the meantime."""
+        process = self.network.nodes.get(coord)
+        if isinstance(process, DynamicNode):
+            process.neighbor_became_unusable(direction)
+
+    def _notify_up(self, coord: Coord, direction: Direction) -> None:
+        process = self.network.nodes.get(coord)
+        if isinstance(process, DynamicNode):
+            process.neighbor_became_usable(direction)
+
+    # ------------------------------------------------------------------
+    # Final-state accessors (for the verifier)
+    # ------------------------------------------------------------------
+    def unusable_grid(self) -> np.ndarray:
+        grid = np.zeros((self.mesh.n, self.mesh.m), dtype=bool)
+        for coord in self.network.faulty:
+            grid[coord] = True
+        for coord, process in self.network.nodes.items():
+            if isinstance(process, DynamicNode) and process.disabled:
+                grid[coord] = True
+        return grid
+
+    def safety_levels(self) -> SafetyLevels:
+        """Per-node levels (entries of blocked nodes carry no meaning)."""
+        grids = {
+            d: np.zeros((self.mesh.n, self.mesh.m), dtype=np.int64) for d in Direction
+        }
+        for coord, process in self.network.nodes.items():
+            if not isinstance(process, DynamicNode):
+                continue
+            for direction in Direction:
+                grids[direction][coord] = process.levels[direction]
+        return SafetyLevels(
+            mesh=self.mesh,
+            east=grids[Direction.EAST],
+            south=grids[Direction.SOUTH],
+            west=grids[Direction.WEST],
+            north=grids[Direction.NORTH],
+        )

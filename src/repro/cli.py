@@ -11,6 +11,9 @@ Subcommands cover the library's workflows:
   timing spans) for one scenario, as a table, JSON, or Prometheus text
   (``--prom``), optionally with profiling (``--profile``);
 - ``protocols`` run the distributed information protocols and report cost;
+- ``chaos``     torment the hardened protocols with message loss and
+  crash/revive schedules, then verify re-convergence against the batch
+  oracles (non-zero exit on divergence);
 - ``bench``     run the benchmark registry, write ``BENCH_<n>.json`` at the
   repo root, and optionally gate against a baseline (``--compare``).
 """
@@ -101,6 +104,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--jsonl", type=pathlib.Path, help="also dump the raw trace events as JSONL"
+    )
+    stats.add_argument(
+        "--chaos", type=float, metavar="LOSS", default=None,
+        help="run the protocols hardened under this per-hop loss rate "
+        "(installs a profiler so chaos.* counters appear in the output)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos", help="chaos-test the hardened protocols and verify convergence"
+    )
+    _common_scenario_args(chaos)
+    chaos.add_argument(
+        "--loss", type=float, default=0.05, help="per-hop drop probability (default 0.05)"
+    )
+    chaos.add_argument(
+        "--dup", type=float, default=0.0, help="per-hop duplication probability"
+    )
+    chaos.add_argument(
+        "--corrupt", type=float, default=0.0, help="per-hop corruption probability"
+    )
+    chaos.add_argument(
+        "--jitter", type=int, default=0, help="max extra delivery latency in ticks"
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the channel fault plan (default 0)",
+    )
+    chaos.add_argument(
+        "--events", type=int, default=10,
+        help="crash/revive events in the schedule (default 10; 0 disables)",
+    )
+    chaos.add_argument(
+        "--pulses", type=int, default=2,
+        help="stabilization pulses after the schedule (default 2)",
     )
 
     bench = sub.add_parser(
@@ -462,21 +499,33 @@ def _cmd_stats(args, out: Callable[[str], None]) -> int:
     scenario, rng = _build_scenario(args)
     mesh, blocks = scenario.mesh, scenario.blocks
     blocked = blocks.unusable
+    chaos_plan = None
+    if args.chaos is not None:
+        from repro.chaos import ChannelFaultPlan
+
+        chaos_plan = ChannelFaultPlan(drop=args.chaos, seed=args.seed)
     metrics = MetricsSink()
     sinks: list = [metrics]
     if args.jsonl:
         sinks.append(JsonlSink(args.jsonl))
     tracer = Tracer(*sinks)
-    profiler = Profiler(detailed=True) if args.profile else NULL_PROFILER
+    # --chaos always installs a profiler: the chaos.* counters are the
+    # whole point of a hardened stats run.
+    if args.profile or chaos_plan is not None:
+        profiler = Profiler(detailed=args.profile)
+    else:
+        profiler = NULL_PROFILER
     free = [coord for coord in mesh.nodes() if not blocked[coord]]
     try:
         with use_tracer(tracer), use_profiler(profiler):
             with profiler.section("stats.esl"):
                 levels = compute_safety_levels(mesh, blocked)
             with profiler.section("stats.protocols"):
-                run_block_formation(mesh, scenario.faults)
-                run_safety_propagation(mesh, blocked)
-                run_boundary_distribution(mesh, blocks.rects(), blocked)
+                run_block_formation(mesh, scenario.faults, chaos=chaos_plan)
+                run_safety_propagation(mesh, blocked, chaos=chaos_plan)
+                run_boundary_distribution(
+                    mesh, blocks.rects(), blocked, chaos=chaos_plan
+                )
             router = WuRouter(mesh, blocks)
             fallback = DetourRouter(mesh, blocks)
             with profiler.section("stats.routing"):
@@ -496,7 +545,7 @@ def _cmd_stats(args, out: Callable[[str], None]) -> int:
     finally:
         tracer.close()
 
-    profile = profiler.snapshot() if args.profile else None
+    profile = profiler.snapshot() if profiler.enabled else None
     if args.prom:
         out(metrics.to_prometheus(profile=profile).rstrip("\n"))
     elif args.json:
@@ -575,6 +624,47 @@ def _cmd_bench(args, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _cmd_chaos(args, out: Callable[[str], None]) -> int:
+    from repro.chaos import ChannelFaultPlan, ChaosSchedule, verify_convergence
+    from repro.faults.injection import uniform_faults
+    from repro.mesh.topology import Mesh2D
+
+    for name, value in (("loss", args.loss), ("dup", args.dup), ("corrupt", args.corrupt)):
+        if not 0.0 <= value <= 1.0:
+            out(f"error: --{name} must be a probability in [0, 1], got {value}")
+            return 2
+    mesh = Mesh2D(args.side, args.side)
+    rng = np.random.default_rng(args.seed)
+    faults = uniform_faults(mesh, args.faults, rng)
+    plan = ChannelFaultPlan(
+        drop=args.loss, duplicate=args.dup, corrupt=args.corrupt,
+        jitter=args.jitter, seed=args.chaos_seed,
+    )
+    schedule = None
+    if args.events > 0:
+        schedule = ChaosSchedule.random(
+            mesh, rng, events=args.events, forbidden=set(faults)
+        )
+    out(
+        f"{mesh}: {len(faults)} initial faults; plan: {plan.describe()}; "
+        f"schedule: {args.events} events; {args.pulses} stabilization pulse(s)"
+    )
+    report = verify_convergence(
+        mesh, faults, plan, schedule,
+        stabilize_rounds=args.pulses, seed=args.chaos_seed,
+    )
+    out(report.summary())
+    if not report.ok:
+        for coord in report.block_mismatches[:10]:
+            out(f"  block mismatch at {coord}")
+        for coord, direction, got, want in report.esl_mismatches[:10]:
+            out(f"  ESL mismatch at {coord} {direction}: distributed {got}, oracle {want}")
+        for source, dest in report.safety_mismatches[:10]:
+            out(f"  safety verdict mismatch for {source} -> {dest}")
+        return 1
+    return 0
+
+
 def _cmd_protocols(args, out: Callable[[str], None]) -> int:
     from repro.core.pivots import recursive_center_pivots
     from repro.core.safety import compute_safety_levels
@@ -637,6 +727,7 @@ _COMMANDS = {
     "route": _cmd_route,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "protocols": _cmd_protocols,
     "memory": _cmd_memory,

@@ -39,10 +39,29 @@ def uniform_faults(
     rng: np.random.Generator,
     forbidden: frozenset[Coord] | set[Coord] = frozenset(),
 ) -> list[Coord]:
-    """``count`` distinct uniformly random faulty nodes avoiding ``forbidden``."""
-    available = mesh.size - len(forbidden)
+    """``count`` distinct uniformly random faulty nodes avoiding ``forbidden``.
+
+    Sparse draws (the paper's regime: a few hundred faults in a 200x200
+    mesh) use batched rejection sampling.  Dense draws -- ``count`` within
+    a factor of two of the available nodes -- would make rejection spin
+    almost forever on the last few slots, so they switch to a single
+    without-replacement :meth:`~numpy.random.Generator.choice` over the
+    allowed flat indices instead.  Both paths are uniform over the same
+    support; they do consume the generator differently, so a given seed
+    yields different (equally valid) draws on either side of the
+    threshold.
+    """
+    available = mesh.size - sum(1 for c in forbidden if mesh.in_bounds(c))
     if count > available:
         raise ValueError(f"cannot place {count} faults in {available} available nodes")
+    if 2 * count >= available:
+        # Dense regime: rejection would thrash on near-full meshes.
+        allowed = np.ones(mesh.size, dtype=bool)
+        for x, y in forbidden:
+            if mesh.in_bounds((x, y)):
+                allowed[x * mesh.m + y] = False
+        picks = rng.choice(np.flatnonzero(allowed), size=count, replace=False)
+        return sorted((int(flat) // mesh.m, int(flat) % mesh.m) for flat in picks)
     faults: set[Coord] = set()
     while len(faults) < count:
         # Draw in batches; duplicates and forbidden nodes are simply retried.

@@ -44,6 +44,18 @@ HOT_COUNTER_NAMES: frozenset[str] = frozenset(
         "sim.dropped",       # simulator messages dropped at a down channel
         "cache.hits",        # scenario-artifact cache hits (repro.parallel)
         "cache.misses",      # scenario-artifact cache misses
+        # Chaos engineering (repro.chaos + repro.simulator.protocols.reliable):
+        "chaos.drops",             # messages destroyed in-flight by the fault plan
+        "chaos.duplicates",        # ghost copies injected by the fault plan
+        "chaos.corrupted",         # payloads delivered with a failed checksum
+        "chaos.retries",           # retransmissions by hardened senders
+        "chaos.gave_up",           # sends abandoned after max_retries
+        "chaos.dup_suppressed",    # duplicate deliveries dropped by dedup
+        "chaos.stale_discarded",   # deliveries fenced off by an epoch bump
+        "chaos.corrupt_discarded", # corrupted deliveries discarded unacked
+        "chaos.reconverge_ticks",  # simulated time spent in stabilization pulses
+        "chaos.crashes",           # chaos-schedule crash events applied
+        "chaos.revives",           # chaos-schedule revive events applied
     }
 )
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -145,7 +146,13 @@ class Engine:
 
         ``until`` stops before events later than the given time and leaves
         the clock *at* the requested horizon (``now == until`` even when
-        the queue runs dry or the next event lies beyond it);
+        the queue runs dry or the next event lies beyond it); an event
+        whose timestamp equals the horizon *is* delivered, including
+        timestamps that drifted a few ulps past it through float
+        accumulation (three chained 0.1 delays land at
+        0.30000000000000004, which must still count as "at" 0.3 --
+        otherwise the event is neither delivered nor ever deliverable by
+        a later ``run(until=0.3)``).
         ``max_events`` bounds runaway protocols (raises if exceeded).
 
         ``events_processed`` (incremented here and by :meth:`step`) is the
@@ -175,8 +182,12 @@ class Engine:
                 self.events_processed += 1
                 callback(*args)
         else:
+            # Scale-aware slack: large enough to absorb accumulated
+            # rounding over thousands of chained delays, far smaller than
+            # any tick granularity the protocols use.
+            horizon = until + 4096.0 * math.ulp(max(1.0, abs(until)))
             while len(impl):
-                if impl.peek_time() > until:
+                if impl.peek_time() > horizon:
                     break
                 if max_events is not None and self.events_processed - start >= max_events:
                     raise RuntimeError(

@@ -19,6 +19,12 @@ class Message:
     algorithm dispatches on exactly this).  The network's fast path fills
     it in at construction time -- one allocation per hop; external senders
     going through :meth:`delivered_via` get an annotated copy instead.
+
+    ``corrupted`` models a *detected* checksum failure: the payload still
+    travels (so accounting sees the hop) but a hardened receiver discards
+    the message without acknowledging it, which is what forces the sender's
+    retransmit.  Unhardened protocols never see corrupted messages because
+    only a :class:`~repro.chaos.plan.ChannelFaultPlan` sets the flag.
     """
 
     src: Coord
@@ -26,6 +32,7 @@ class Message:
     kind: str
     payload: Any = None
     arrival_direction: Direction | None = None
+    corrupted: bool = False
 
     def delivered_via(self, direction: Direction) -> "Message":
         """A copy annotated with the receiver-side arrival direction."""
@@ -35,6 +42,7 @@ class Message:
             kind=self.kind,
             payload=self.payload,
             arrival_direction=direction,
+            corrupted=self.corrupted,
         )
 
     def __str__(self) -> str:

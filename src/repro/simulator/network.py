@@ -11,7 +11,7 @@ objects, built lazily on access.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from repro.simulator.channels import Channel, ChannelMap, ChannelView
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.process import NodeProcess
+
+if TYPE_CHECKING:
+    from repro.chaos.plan import ChannelFaultPlan
 
 #: Array index of each direction (definition order: E, S, W, N).
 _DIR_INDEX: dict[Direction, int] = {d: i for i, d in enumerate(Direction)}
@@ -56,18 +59,35 @@ def adjacent_blocked_dirs(
 
 @dataclass(frozen=True)
 class NetworkStats:
-    """Protocol cost accounting, read after a run converges."""
+    """Protocol cost accounting, read after a run converges.
+
+    The chaos fields default to zero so reliable runs (and pre-chaos
+    baselines) compare equal regardless of whether they were produced
+    before or after the chaos layer existed.  ``dropped`` counts sends
+    into a *down* channel (fail-stop semantics); ``lost`` counts messages
+    a live channel discarded under a
+    :class:`~repro.chaos.plan.ChannelFaultPlan`.
+    """
 
     messages: int
     dropped: int
     events: int
     converged_at: float
+    lost: int = 0
+    duplicated: int = 0
+    retried: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.messages} messages ({self.dropped} dropped), "
             f"{self.events} events, converged at t={self.converged_at:g}"
         )
+        if self.lost or self.duplicated or self.retried:
+            text += (
+                f" [chaos: {self.lost} lost, {self.duplicated} duplicated, "
+                f"{self.retried} retried]"
+            )
+        return text
 
 
 class MeshNetwork:
@@ -88,16 +108,27 @@ class MeshNetwork:
         latency: float = 1.0,
         tracer: Tracer | None = None,
         delivery: str = "fast",
+        chaos: "ChannelFaultPlan | None" = None,
     ):
         if delivery not in DELIVERY_MODES:
             raise ValueError(
                 f"unknown delivery mode {delivery!r}; expected one of {DELIVERY_MODES}"
+            )
+        if chaos is not None and chaos.active and delivery == "legacy":
+            raise ValueError(
+                "chaos plans require the fast delivery path (delivery='fast')"
             )
         self.mesh = mesh
         self.engine = engine
         self.latency = latency
         self.tracer = tracer
         self.delivery = delivery
+        self.chaos = chaos
+        #: Bumped on every membership change that invalidates in-flight
+        #: traffic (node revival, stabilization pulse).  Hardened
+        #: processes stamp their envelopes with the epoch at send time
+        #: and discard deliveries from older epochs.
+        self.chaos_epoch = 0
         self.faulty: set[Coord] = set(faulty)
         for coord in self.faulty:
             mesh.require_in_bounds(coord)
@@ -125,9 +156,17 @@ class MeshNetwork:
         self.channel_up = up
         self.channel_carried = np.zeros((n, m, 4), dtype=np.int64)
         self.channel_dropped = np.zeros((n, m, 4), dtype=np.int64)
+        #: Chaos accounting per directed link: messages a *live* channel
+        #: discarded under the fault plan, and retransmissions pushed by
+        #: hardened senders.  All-zero (and never touched) without chaos.
+        self.channel_lost = np.zeros((n, m, 4), dtype=np.int64)
+        self.channel_retried = np.zeros((n, m, 4), dtype=np.int64)
         #: Running totals: O(1) whole-network accounting (stable API).
         self.messages_carried_total = 0
         self.messages_dropped_total = 0
+        self.messages_lost_total = 0
+        self.messages_duplicated_total = 0
+        self.messages_retried_total = 0
 
         if delivery == "legacy":
             # The seed implementation: one eagerly built Channel object per
@@ -179,6 +218,52 @@ class MeshNetwork:
             if channel is not None:
                 channel.take_down()
 
+    def bring_up_channel(self, src: Coord, direction: Direction) -> None:
+        """Re-enable one directed link (the inverse of take_down_channel)."""
+        dst = direction.step(src)
+        if not self.mesh.in_bounds(dst):
+            return
+        x, y = src
+        self.channel_up[x, y, _DIR_INDEX[direction]] = True
+        if self.delivery == "legacy":
+            channel = self.channels.get((src, direction))
+            if channel is not None:
+                channel.up = True
+
+    # ------------------------------------------------------------------
+    # Runtime membership (chaos crash/revive)
+    # ------------------------------------------------------------------
+    def fail_node(self, coord: Coord) -> NodeProcess | None:
+        """Fail-stop one node at runtime: its process is removed and every
+        incident directed link goes down.  Returns the removed process
+        (None if the node never had one, e.g. it was disabled-only)."""
+        self.mesh.require_in_bounds(coord)
+        if coord in self.faulty:
+            raise ValueError(f"{coord} already faulty")
+        process = self.nodes.pop(coord, None)
+        self.faulty.add(coord)
+        for direction, neighbor in self.mesh.neighbor_items(coord):
+            self.take_down_channel(coord, direction)
+            self.take_down_channel(neighbor, direction.opposite)
+        return process
+
+    def restore_node(
+        self, coord: Coord, node_factory: Callable[[Coord, "MeshNetwork"], NodeProcess]
+    ) -> NodeProcess:
+        """Revive a failed node with a *fresh* process (amnesia: crashed
+        state is gone).  Links come back up only where the far end is also
+        healthy."""
+        if coord not in self.faulty:
+            raise ValueError(f"{coord} is not faulty")
+        self.faulty.discard(coord)
+        for direction, neighbor in self.mesh.neighbor_items(coord):
+            if neighbor not in self.faulty:
+                self.bring_up_channel(coord, direction)
+                self.bring_up_channel(neighbor, direction.opposite)
+        process = node_factory(coord, self)
+        self.nodes[coord] = process
+        return process
+
     # ------------------------------------------------------------------
     # Message plumbing
     # ------------------------------------------------------------------
@@ -199,9 +284,12 @@ class MeshNetwork:
         prof = get_profiler()
         self._prof = prof
         self._prof_on = prof.enabled
+        self._chaos_on = self.chaos is not None and self.chaos.active
 
     def send_from(self, src: Coord, direction: Direction, kind: str, payload) -> bool:
         """Send one hop; False if the link does not exist (mesh edge)."""
+        if self._chaos_on:
+            return self._send_from_chaos(src, direction, kind, payload)
         x, y = src
         dx, dy = direction.value
         nx, ny = x + dx, y + dy
@@ -232,6 +320,66 @@ class MeshNetwork:
             Message(src, (nx, ny), kind, payload, direction.opposite),
         )
         return True
+
+    def _send_from_chaos(
+        self, src: Coord, direction: Direction, kind: str, payload
+    ) -> bool:
+        """The fast path plus per-hop misbehaviour from the fault plan.
+
+        Taken only when an *active* :class:`~repro.chaos.plan.ChannelFaultPlan`
+        is installed, so the default path stays byte-identical.  Fault-plan
+        verdicts are drawn even for messages a down channel would drop, so
+        the perturbation stream depends only on the send sequence, not on
+        the evolving link state.
+        """
+        x, y = src
+        dx, dy = direction.value
+        nx, ny = x + dx, y + dy
+        if nx < 0 or ny < 0 or nx >= self._n or ny >= self._m:
+            return False
+        di = _DIR_INDEX[direction]
+        link_up = self.channel_up[x, y, di]
+        if self._trace_on:
+            self._trc.emit("protocol_msg", msg=kind, src=src, direction=direction.name,
+                           time=self.engine.now, queue=self.engine.pending,
+                           dropped=not link_up)
+        if self._prof_on:
+            self._prof.count("sim.messages")
+        dropped, duplicated, corrupted, extra = self.chaos.draw()
+        if not link_up:
+            self.channel_dropped[x, y, di] += 1
+            self.messages_dropped_total += 1
+            if self._prof_on:
+                self._prof.count("sim.dropped")
+            return True
+        self.channel_carried[x, y, di] += 1
+        self.messages_carried_total += 1
+        if dropped:
+            self.channel_lost[x, y, di] += 1
+            self.messages_lost_total += 1
+            if self._prof_on:
+                self._prof.count("chaos.drops")
+            return True
+        delay = self.latency * (1 + extra)
+        message = Message(src, (nx, ny), kind, payload, direction.opposite, corrupted)
+        if corrupted and self._prof_on:
+            self._prof.count("chaos.corrupted")
+        self.engine.schedule(delay, self._deliver, (nx, ny), message)
+        if duplicated:
+            self.messages_duplicated_total += 1
+            if self._prof_on:
+                self._prof.count("chaos.duplicates")
+            # The ghost copy trails the original by one latency.
+            self.engine.schedule(delay + self.latency, self._deliver, (nx, ny), message)
+        return True
+
+    def note_retry(self, src: Coord, direction: Direction) -> None:
+        """Account one retransmission on the ``src -> direction`` link."""
+        x, y = src
+        self.channel_retried[x, y, _DIR_INDEX[direction]] += 1
+        self.messages_retried_total += 1
+        if self._prof_on:
+            self._prof.count("chaos.retries")
 
     def _send_from_legacy(
         self, src: Coord, direction: Direction, kind: str, payload
@@ -286,6 +434,29 @@ class MeshNetwork:
             dropped=dropped,
             events=events,
             converged_at=self.engine.now,
+            lost=self.messages_lost_total,
+            duplicated=self.messages_duplicated_total,
+            retried=self.messages_retried_total,
+        )
+
+    def current_stats(self) -> NetworkStats:
+        """Lifetime accounting without running anything (``events`` is the
+        engine's lifetime total, unlike the per-run count :meth:`run`
+        reports)."""
+        if self.delivery == "legacy":
+            messages = sum(c.messages_carried for c in self.channels.values())
+            dropped = sum(c.messages_dropped for c in self.channels.values())
+        else:
+            messages = self.messages_carried_total
+            dropped = self.messages_dropped_total
+        return NetworkStats(
+            messages=messages,
+            dropped=dropped,
+            events=self.engine.events_processed,
+            converged_at=self.engine.now,
+            lost=self.messages_lost_total,
+            duplicated=self.messages_duplicated_total,
+            retried=self.messages_retried_total,
         )
 
     def process_at(self, coord: Coord) -> NodeProcess:

@@ -26,6 +26,7 @@ is the total polyline length.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,7 +37,14 @@ from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork, NetworkStats, adjacent_blocked_dirs
-from repro.simulator.process import NodeProcess
+from repro.simulator.protocols.reliable import (
+    ResilientProcess,
+    chaos_event_budget,
+    stabilize_network,
+)
+
+if TYPE_CHECKING:
+    from repro.chaos.plan import ChannelFaultPlan
 
 _NO_DIRS: frozenset[Direction] = frozenset()
 
@@ -47,27 +55,45 @@ _FORWARDING = {
 }
 
 
-class BoundaryProcess(NodeProcess):
-    __slots__ = ("blocked_dirs", "annotations", "known_rects")
+class BoundaryProcess(ResilientProcess):
+    __slots__ = ("blocked_dirs", "annotations", "known_rects", "_seeds")
 
-    def __init__(self, coord: Coord, network: MeshNetwork, blocked_dirs: frozenset[Direction]):
-        super().__init__(coord, network)
+    def __init__(
+        self,
+        coord: Coord,
+        network: MeshNetwork,
+        blocked_dirs: frozenset[Direction],
+        *,
+        hardened: bool = False,
+    ):
+        super().__init__(coord, network, hardened=hardened)
         self.blocked_dirs = blocked_dirs
         #: (block_index, line) -> toward direction (None at the exit corner)
         self.annotations: dict[tuple[int, Line], Direction | None] = {}
         #: block rectangles this node has learned (seeded or from messages)
         self.known_rects: dict[int, Rect] = {}
+        #: seeds survive restarts: they are this node's hard state
+        self._seeds: dict[tuple[int, Line], tuple[Direction | None, Rect]] = {}
 
     def seed(self, block_index: int, line: Line, toward: Direction | None, rect: Rect) -> None:
         """Install seed info; forwarding happens in start() at t=0."""
         self.annotations[(block_index, line)] = toward
         self.known_rects[block_index] = rect
+        self._seeds[(block_index, line)] = (toward, rect)
 
     def start(self) -> None:
         for (block_index, line), _ in list(self.annotations.items()):
             self._forward(block_index, line)
 
-    def on_message(self, message: Message) -> None:
+    def protocol_restart(self) -> None:
+        self.annotations = {}
+        self.known_rects = {}
+        for (block_index, line), (toward, rect) in self._seeds.items():
+            self.annotations[(block_index, line)] = toward
+            self.known_rects[block_index] = rect
+        self.start()
+
+    def handle_message(self, message: Message) -> None:
         if message.kind != "boundary":
             raise ValueError(f"unexpected message kind {message.kind!r}")
         block_index, line, rect = message.payload
@@ -83,9 +109,9 @@ class BoundaryProcess(NodeProcess):
         primary, detour = _FORWARDING[line]
         payload = (block_index, line, self.known_rects[block_index])
         if primary not in self.blocked_dirs:
-            self.send(primary, "boundary", payload)
+            self.rsend(primary, "boundary", payload)
         else:
-            self.send(detour, "boundary", payload)
+            self.rsend(detour, "boundary", payload)
 
 
 @dataclass(frozen=True)
@@ -103,26 +129,40 @@ def run_boundary_distribution(
     tracer: Tracer | None = None,
     scheduler: str = "buckets",
     delivery: str = "fast",
+    chaos: "ChannelFaultPlan | None" = None,
+    stabilize_rounds: int = 1,
 ) -> BoundaryDistributionResult:
     """Distribute L1 and L3 information for every block (canonical
-    quadrant-I orientation)."""
+    quadrant-I orientation).
+
+    An active ``chaos`` plan hardens every process and appends
+    ``stabilize_rounds`` reset pulses; seeds are hard state, so a restart
+    re-forwards them and the polylines re-form."""
+    hardened = chaos is not None and chaos.active
     blocked_coords = {(int(x), int(y)) for x, y in zip(*np.nonzero(unusable))}
     blocked_dirs = adjacent_blocked_dirs(mesh, blocked_coords)
 
     def factory(coord: Coord, network: MeshNetwork) -> BoundaryProcess:
-        return BoundaryProcess(coord, network, blocked_dirs.get(coord, _NO_DIRS))
+        return BoundaryProcess(
+            coord, network, blocked_dirs.get(coord, _NO_DIRS), hardened=hardened
+        )
 
     trc = tracer if tracer is not None else get_tracer()
     network = MeshNetwork(
         mesh, Engine(scheduler), factory, faulty=blocked_coords, latency=latency,
-        tracer=tracer, delivery=delivery,
+        tracer=tracer, delivery=delivery, chaos=chaos,
     )
     for index, rect in enumerate(rects):
         _seed_l1(mesh, network, index, rect)
         _seed_l3(mesh, network, index, rect)
 
     with trc.span("protocol.boundary_distribution", blocks=len(rects)):
-        stats = network.run()
+        stats = network.run(
+            max_events=chaos_event_budget(network) if hardened else None
+        )
+        if hardened and stabilize_rounds:
+            stabilize_network(network, rounds=stabilize_rounds)
+            stats = network.current_stats()
 
     annotations: dict[Coord, list[BoundaryTag]] = {}
     for coord, process in network.nodes.items():

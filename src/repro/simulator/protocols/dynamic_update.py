@@ -20,6 +20,7 @@ This module realizes that claim as a long-lived network:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,16 +30,23 @@ from repro.mesh.topology import Mesh2D
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork
-from repro.simulator.process import NodeProcess
+from repro.simulator.protocols.reliable import (
+    ResilientProcess,
+    chaos_event_budget,
+    stabilize_network,
+)
+
+if TYPE_CHECKING:
+    from repro.chaos.plan import ChannelFaultPlan
 
 
-class DynamicNode(NodeProcess):
+class DynamicNode(ResilientProcess):
     """Block labelling plus ESL maintenance under live fault injection."""
 
     __slots__ = ("unusable_dirs", "disabled", "levels")
 
-    def __init__(self, coord: Coord, network: MeshNetwork):
-        super().__init__(coord, network)
+    def __init__(self, coord: Coord, network: MeshNetwork, *, hardened: bool = False):
+        super().__init__(coord, network, hardened=hardened)
         self.unusable_dirs: set[Direction] = set()
         self.disabled = False
         self.levels: dict[Direction, int] = {d: UNBOUNDED for d in Direction}
@@ -54,7 +62,29 @@ class DynamicNode(NodeProcess):
         self._tighten_level(direction, 0)
         self._maybe_disable()
 
-    def on_message(self, message: Message) -> None:
+    def neighbor_became_usable(self, direction: Direction) -> None:
+        """A crashed neighbour revived.  The incremental protocol cannot
+        *undo* monotone state (levels only shrink, blocks only grow), so
+        this merely clears the local flag; the stabilization pulse that
+        follows every revive rebuilds the derived state from scratch."""
+        self.unusable_dirs.discard(direction)
+
+    def protocol_restart(self) -> None:
+        # Amnesia restart: re-derive the only hard fact a node can sense
+        # locally -- which neighbours are dead -- and rebuild the rest by
+        # re-running the protocol (standing in for a heartbeat detector).
+        self.unusable_dirs = set()
+        self.disabled = False
+        self.levels = {d: UNBOUNDED for d in Direction}
+        for direction, neighbor in self.network.mesh.neighbor_items(self.coord):
+            if neighbor in self.network.faulty:
+                self.unusable_dirs.add(direction)
+        for direction in Direction:
+            if direction in self.unusable_dirs:
+                self._tighten_level(direction, 0)
+        self._maybe_disable()
+
+    def handle_message(self, message: Message) -> None:
         assert message.arrival_direction is not None
         if message.kind == "unusable":
             self.neighbor_became_unusable(message.arrival_direction)
@@ -72,7 +102,7 @@ class DynamicNode(NodeProcess):
             self.disabled = True
             # From now on this node is part of a block: its neighbours treat
             # it as unusable and it stops relaying safety levels.
-            self.broadcast("unusable")
+            self.rbroadcast("unusable")
 
     def _tighten_level(self, direction: Direction, value: int) -> None:
         """Safety levels only shrink as faults accumulate, so min-propagation
@@ -80,7 +110,7 @@ class DynamicNode(NodeProcess):
         if value >= self.levels[direction]:
             return
         self.levels[direction] = value
-        self.send(direction.opposite, "esl", value)
+        self.rsend(direction.opposite, "esl", value)
 
 
 @dataclass(frozen=True)
@@ -97,13 +127,35 @@ class InjectionReport:
 class DynamicMesh:
     """A live mesh: inject faults one at a time, information stays consistent."""
 
-    def __init__(self, mesh: Mesh2D, latency: float = 1.0, scheduler: str = "buckets"):
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        latency: float = 1.0,
+        scheduler: str = "buckets",
+        chaos: "ChannelFaultPlan | None" = None,
+        hardened: bool | None = None,
+    ):
         self.mesh = mesh
         self.latency = latency
         self.engine = Engine(scheduler)
-        self.network = MeshNetwork(mesh, self.engine, DynamicNode, latency=latency)
+        self.hardened = (
+            hardened if hardened is not None else chaos is not None and chaos.active
+        )
+
+        def factory(coord: Coord, network: MeshNetwork) -> DynamicNode:
+            return DynamicNode(coord, network, hardened=self.hardened)
+
+        self._factory = factory
+        self.network = MeshNetwork(
+            mesh, self.engine, factory, latency=latency, chaos=chaos
+        )
         self.faults: list[Coord] = []
         self.reports: list[InjectionReport] = []
+
+    def _event_budget(self) -> int:
+        if self.hardened:
+            return chaos_event_budget(self.network)
+        return 200 * self.mesh.size + 10_000
 
     # ------------------------------------------------------------------
     def inject_fault(self, coord: Coord) -> InjectionReport:
@@ -111,10 +163,8 @@ class DynamicMesh:
         self.mesh.require_in_bounds(coord)
         if coord in self.network.faulty:
             raise ValueError(f"{coord} already faulty")
-        victim = self.network.nodes.pop(coord, None)
-        if victim is None:
+        if coord not in self.network.nodes:
             raise ValueError(f"{coord} holds no live process")
-        self.network.faulty.add(coord)
         self.faults.append(coord)
 
         disabled_before = self._count_disabled()
@@ -122,9 +172,8 @@ class DynamicMesh:
         messages_before = self.network.messages_carried_total
         events_before = self.engine.events_processed
 
+        self.network.fail_node(coord)
         for direction, neighbor in self.mesh.neighbor_items(coord):
-            self.network.take_down_channel(coord, direction)
-            self.network.take_down_channel(neighbor, direction.opposite)
             process = self.network.nodes.get(neighbor)
             if isinstance(process, DynamicNode):
                 # Failure detection after one link latency.
@@ -133,7 +182,7 @@ class DynamicMesh:
                 )
 
         self.network.refresh_instrumentation()
-        self.engine.run(max_events=200 * self.mesh.size + 10_000)
+        self.engine.run(max_events=self._event_budget())
 
         report = InjectionReport(
             fault=coord,
@@ -144,6 +193,26 @@ class DynamicMesh:
         )
         self.reports.append(report)
         return report
+
+    def revive_node(self, coord: Coord, stabilize_rounds: int = 1) -> None:
+        """Bring a previously injected fault back and re-converge.
+
+        The incremental protocol is monotone (levels only shrink, blocks
+        only grow), so a revival cannot be absorbed by more ripples; it
+        is handled by a reset-based stabilization pulse that restarts
+        every live node against the *new* fault set (see
+        :func:`repro.simulator.protocols.reliable.stabilize_network`).
+        """
+        if coord not in self.faults:
+            raise ValueError(f"{coord} was never injected")
+        self.network.restore_node(coord, self._factory)
+        self.faults.remove(coord)
+        for direction, neighbor in self.mesh.neighbor_items(coord):
+            process = self.network.nodes.get(neighbor)
+            if isinstance(process, DynamicNode):
+                process.neighbor_became_usable(direction.opposite)
+        self.network.refresh_instrumentation()
+        stabilize_network(self.network, rounds=max(1, stabilize_rounds))
 
     # ------------------------------------------------------------------
     # State accessors (for verification against the centralized model)

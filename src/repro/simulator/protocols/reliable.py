@@ -1,0 +1,247 @@
+"""Ack/timeout/retransmit hardening for the information protocols.
+
+The paper's formation/propagation algorithms assume reliable channels and
+a membership that only shrinks.  :class:`ResilientProcess` wraps the
+protocol logic of a :class:`~repro.simulator.process.NodeProcess` in a
+stop-and-wait reliability shim so the same algorithms survive a
+:class:`~repro.chaos.plan.ChannelFaultPlan` and mid-run crash/revive:
+
+- every payload-bearing send travels inside an :class:`Envelope` stamped
+  with a per-sender sequence number and the network's *chaos epoch*;
+- receivers acknowledge every envelope (acks travel raw: an ack of an
+  ack would never terminate), discard corrupted deliveries without
+  acking (forcing the retransmit), deduplicate via per-direction seen
+  sets (idempotent receive), and drop envelopes from stale epochs;
+- senders retransmit unacked envelopes with exponential backoff in
+  ticks, bounded by ``max_retries`` (a give-up is counted, not fatal:
+  the stabilization pulse is the backstop);
+- :func:`stabilize_network` is that backstop -- a reset-based
+  self-stabilization pulse in the Arora-Gouda style: bump the epoch
+  (fencing off every in-flight message and pending retransmit), restart
+  all live processes from locally-derivable state, and drain.  Because
+  the protocols are monotone and restart from scratch against the
+  *final* fault set, the pulse converges to exactly the
+  Definition-1/ESL fixpoint the batch oracles compute.
+
+Hardening is opt-in per process (``hardened=False`` keeps ``rsend`` a
+plain ``send``), so default runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mesh.geometry import Direction
+from repro.obs.prof import get_profiler
+from repro.simulator.messages import Message
+from repro.simulator.network import MeshNetwork
+from repro.simulator.process import NodeProcess
+
+#: Message kind reserved for reliability acknowledgements.  Protocol
+#: handlers never see it: the shim consumes acks before dispatch.
+ACK_KIND = "chaos-ack"
+
+#: Retransmit timeout as a multiple of the link latency (round trip plus
+#: scheduling slack), doubled on every attempt.
+DEFAULT_TIMEOUT_FACTOR = 4.0
+
+DEFAULT_MAX_RETRIES = 6
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """A protocol payload wrapped for reliable delivery."""
+
+    epoch: int
+    seq: int
+    payload: Any
+
+
+class ResilientProcess(NodeProcess):
+    """A node process with optional stop-and-wait reliable delivery.
+
+    Subclasses implement :meth:`handle_message` (the protocol logic that
+    plain processes put in ``on_message``) and send via :meth:`rsend` /
+    :meth:`rbroadcast`; with ``hardened=False`` those degrade to the raw
+    primitives and this class adds nothing but a dict or two.
+    """
+
+    __slots__ = (
+        "_rel_on",
+        "_rel_seq",
+        "_rel_outbox",
+        "_rel_seen",
+        "_rel_timeout",
+        "_rel_max_retries",
+    )
+
+    def __init__(
+        self,
+        coord,
+        network: MeshNetwork,
+        *,
+        hardened: bool = False,
+        ack_timeout: float | None = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ):
+        super().__init__(coord, network)
+        self._rel_on = hardened
+        self._rel_seq = 0
+        #: (direction, epoch, seq) -> [kind, envelope, attempts]
+        self._rel_outbox: dict[tuple[Direction, int, int], list] = {}
+        #: direction -> set of delivered (epoch, seq)
+        self._rel_seen: dict[Direction, set[tuple[int, int]]] = {}
+        self._rel_timeout = (
+            ack_timeout if ack_timeout is not None
+            else DEFAULT_TIMEOUT_FACTOR * network.latency
+        )
+        self._rel_max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    # Reliable send primitives
+    # ------------------------------------------------------------------
+    def rsend(self, direction: Direction, kind: str, payload: Any = None) -> bool:
+        if not self._rel_on:
+            return self.send(direction, kind, payload)
+        epoch = self.network.chaos_epoch
+        self._rel_seq += 1
+        envelope = Envelope(epoch, self._rel_seq, payload)
+        if not self.send(direction, kind, envelope):
+            return False  # mesh edge: nothing to retry
+        key = (direction, epoch, self._rel_seq)
+        self._rel_outbox[key] = [kind, envelope, 0]
+        self.network.engine.schedule(self._rel_timeout, self._rel_check, key, self._rel_timeout)
+        return True
+
+    def rbroadcast(self, kind: str, payload: Any = None) -> int:
+        count = 0
+        for direction in Direction:
+            if self.rsend(direction, kind, payload):
+                count += 1
+        return count
+
+    def _rel_check(self, key: tuple[Direction, int, int], timeout: float) -> None:
+        entry = self._rel_outbox.get(key)
+        if entry is None:
+            return  # acked
+        if self.network.nodes.get(self.coord) is not self:
+            return  # this incarnation crashed or was replaced
+        direction, epoch, _seq = key
+        if epoch != self.network.chaos_epoch:
+            # A pulse or revive fenced this traffic off; the restart
+            # re-derives whatever it was carrying.
+            del self._rel_outbox[key]
+            return
+        kind, envelope, attempts = entry
+        if attempts >= self._rel_max_retries:
+            del self._rel_outbox[key]
+            prof = get_profiler()
+            if prof.enabled:
+                prof.count("chaos.gave_up")
+            return
+        entry[2] = attempts + 1
+        self.network.note_retry(self.coord, direction)
+        self.send(direction, kind, envelope)
+        self.network.engine.schedule(timeout * 2.0, self._rel_check, key, timeout * 2.0)
+
+    # ------------------------------------------------------------------
+    # Receive shim
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if not self._rel_on:
+            self.handle_message(message)
+            return
+        prof = get_profiler()
+        direction = message.arrival_direction
+        if message.kind == ACK_KIND:
+            if not message.corrupted and direction is not None:
+                epoch, seq = message.payload
+                self._rel_outbox.pop((direction, epoch, seq), None)
+            return
+        if message.corrupted:
+            # Detected checksum failure: discard unacked; the sender's
+            # timeout drives the retransmit.
+            if prof.enabled:
+                prof.count("chaos.corrupt_discarded")
+            return
+        payload = message.payload
+        if not isinstance(payload, Envelope):
+            self.handle_message(message)  # e.g. legacy/raw senders
+            return
+        if payload.epoch != self.network.chaos_epoch:
+            if prof.enabled:
+                prof.count("chaos.stale_discarded")
+            return
+        if direction is not None:
+            # Ack before the dedup check: the original ack may have been
+            # lost, and re-acking is what stops the retransmits.
+            self.send(direction, ACK_KIND, (payload.epoch, payload.seq))
+            seen = self._rel_seen.setdefault(direction, set())
+            if (payload.epoch, payload.seq) in seen:
+                if prof.enabled:
+                    prof.count("chaos.dup_suppressed")
+                return
+            seen.add((payload.epoch, payload.seq))
+        self.handle_message(
+            Message(
+                message.src, message.dst, message.kind,
+                payload.payload, direction,
+            )
+        )
+
+    def handle_message(self, message: Message) -> None:
+        """Protocol logic; override exactly as ``on_message`` elsewhere."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Restart (self-stabilization)
+    # ------------------------------------------------------------------
+    def local_restart(self) -> None:
+        """Forget everything soft and rebuild from locally-derivable state."""
+        self._rel_outbox.clear()
+        self._rel_seen.clear()
+        self._rel_seq = 0
+        self.protocol_restart()
+
+    def protocol_restart(self) -> None:
+        """Reset protocol state and re-run the initial sends.  Subclasses
+        with soft state must override; stateless starters get this."""
+        self.start()
+
+
+def chaos_event_budget(network: MeshNetwork) -> int:
+    """An event budget generous enough for hardened runs.
+
+    Hardening multiplies traffic (ack + at least one timer per message,
+    plus retransmits), and stabilization pulses re-run the whole
+    formation; scale the default budget accordingly.
+    """
+    return 2_000 * network.mesh.size + 100_000
+
+
+def stabilize_network(network: MeshNetwork, rounds: int = 1) -> int:
+    """Run ``rounds`` reset-based stabilization pulses to quiescence.
+
+    Each pulse bumps the chaos epoch (discarding all in-flight traffic
+    and pending retransmits -- whatever they carried is re-derived) and
+    restarts every live :class:`ResilientProcess` in deterministic
+    coordinate order.  Returns the number of engine events processed;
+    the simulated time the pulses took is counted into the
+    ``chaos.reconverge_ticks`` hot counter.
+    """
+    engine = network.engine
+    started_at = engine.now
+    events = 0
+    budget = chaos_event_budget(network)
+    for _ in range(max(0, rounds)):
+        network.chaos_epoch += 1
+        for coord in sorted(network.nodes):
+            process = network.nodes[coord]
+            if isinstance(process, ResilientProcess):
+                process.local_restart()
+        events += engine.run(max_events=budget)
+    prof = get_profiler()
+    if prof.enabled and engine.now > started_at:
+        prof.count("chaos.reconverge_ticks", int(engine.now - started_at))
+    return events

@@ -15,6 +15,7 @@ paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,16 +26,30 @@ from repro.obs import Tracer, get_tracer
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
 from repro.simulator.network import MeshNetwork, NetworkStats, adjacent_blocked_dirs
-from repro.simulator.process import NodeProcess
+from repro.simulator.protocols.reliable import (
+    ResilientProcess,
+    chaos_event_budget,
+    stabilize_network,
+)
+
+if TYPE_CHECKING:
+    from repro.chaos.plan import ChannelFaultPlan
 
 _NO_DIRS: frozenset[Direction] = frozenset()
 
 
-class SafetyFormationProcess(NodeProcess):
+class SafetyFormationProcess(ResilientProcess):
     __slots__ = ("levels", "_blocked_dirs")
 
-    def __init__(self, coord: Coord, network: MeshNetwork, blocked_dirs: frozenset[Direction]):
-        super().__init__(coord, network)
+    def __init__(
+        self,
+        coord: Coord,
+        network: MeshNetwork,
+        blocked_dirs: frozenset[Direction],
+        *,
+        hardened: bool = False,
+    ):
+        super().__init__(coord, network, hardened=hardened)
         self.levels: dict[Direction, int] = {d: UNBOUNDED for d in Direction}
         self._blocked_dirs = blocked_dirs
 
@@ -42,7 +57,11 @@ class SafetyFormationProcess(NodeProcess):
         for direction in self._blocked_dirs:
             self._update(direction, 0)
 
-    def on_message(self, message: Message) -> None:
+    def protocol_restart(self) -> None:
+        self.levels = {d: UNBOUNDED for d in Direction}
+        self.start()
+
+    def handle_message(self, message: Message) -> None:
         if message.kind != "esl":
             raise ValueError(f"unexpected message kind {message.kind!r}")
         assert message.arrival_direction is not None
@@ -54,7 +73,7 @@ class SafetyFormationProcess(NodeProcess):
         if value >= self.levels[direction]:
             return
         self.levels[direction] = value
-        self.send(direction.opposite, "esl", value)
+        self.rsend(direction.opposite, "esl", value)
 
     def esl(self) -> tuple[int, int, int, int]:
         return (
@@ -74,26 +93,39 @@ class SafetyPropagationResult:
 def run_safety_propagation(
     mesh: Mesh2D, unusable: np.ndarray, latency: float = 1.0,
     tracer: Tracer | None = None, scheduler: str = "buckets",
-    delivery: str = "fast",
+    delivery: str = "fast", chaos: "ChannelFaultPlan | None" = None,
+    stabilize_rounds: int = 1,
 ) -> SafetyPropagationResult:
     """Run the FORMATION algorithm over the blocked-node grid.
 
     Entries for blocked nodes are left at 0 in the result grids; they carry
     no meaning (the centralized counterpart is only compared on free nodes).
+
+    An active ``chaos`` plan hardens every process (ack/retransmit) and
+    appends ``stabilize_rounds`` reset pulses so lost messages cannot leave
+    the grid short of the fixpoint.
     """
+    hardened = chaos is not None and chaos.active
     blocked_coords = {(int(x), int(y)) for x, y in zip(*np.nonzero(unusable))}
     blocked_dirs = adjacent_blocked_dirs(mesh, blocked_coords)
 
     def factory(coord: Coord, network: MeshNetwork) -> SafetyFormationProcess:
-        return SafetyFormationProcess(coord, network, blocked_dirs.get(coord, _NO_DIRS))
+        return SafetyFormationProcess(
+            coord, network, blocked_dirs.get(coord, _NO_DIRS), hardened=hardened
+        )
 
     trc = tracer if tracer is not None else get_tracer()
     network = MeshNetwork(
         mesh, Engine(scheduler), factory, faulty=blocked_coords, latency=latency,
-        tracer=tracer, delivery=delivery,
+        tracer=tracer, delivery=delivery, chaos=chaos,
     )
     with trc.span("protocol.safety_propagation", blocked=len(blocked_coords)):
-        stats = network.run()
+        stats = network.run(
+            max_events=chaos_event_budget(network) if hardened else None
+        )
+        if hardened and stabilize_rounds:
+            stabilize_network(network, rounds=stabilize_rounds)
+            stats = network.current_stats()
 
     grids = {d: np.zeros((mesh.n, mesh.m), dtype=np.int64) for d in Direction}
     for coord, process in network.nodes.items():

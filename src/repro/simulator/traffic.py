@@ -69,6 +69,15 @@ class PathPolicy:
             (source, dest), lambda: self.route(source, dest)
         )
 
+    def invalidate(self) -> None:
+        """Drop every memoised path (call after the fault set changes).
+
+        Cached paths were computed against the old fault information; a
+        route threaded through a newly faulty region would otherwise keep
+        being served for up to :data:`PATH_CACHE_MAXSIZE` pairs.
+        """
+        self._cache.clear()
+
 
 @dataclass
 class _FlightState:

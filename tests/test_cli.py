@@ -129,6 +129,38 @@ class TestStats:
         assert "esl" in snapshot["protocol_messages"]
 
 
+class TestChaosVerb:
+    def test_converges_and_exits_zero(self):
+        code, output = _run(
+            ["chaos", "--side", "12", "--faults", "5", "--seed", "3",
+             "--loss", "0.05", "--events", "6"]
+        )
+        assert code == 0
+        assert "CONVERGED" in output
+
+    def test_no_schedule(self):
+        code, output = _run(
+            ["chaos", "--side", "10", "--faults", "4", "--events", "0",
+             "--loss", "0.02"]
+        )
+        assert code == 0
+        assert "0 chaos events" in output
+
+    def test_rejects_bad_probability(self):
+        code, output = _run(["chaos", "--side", "10", "--loss", "1.5"])
+        assert code == 2
+        assert "probability" in output
+
+    def test_stats_chaos_emits_hot_counters(self):
+        code, output = _run(
+            ["stats", "--side", "12", "--faults", "6", "--seed", "3",
+             "--routes", "5", "--chaos", "0.05", "--prom"]
+        )
+        assert code == 0
+        assert 'repro_hot_counter_total{name="chaos.retries"}' in output
+        assert 'repro_hot_counter_total{name="chaos.drops"}' in output
+
+
 class TestProtocols:
     def test_cost_table(self):
         code, output = _run(["protocols", "--side", "16", "--faults", "10"])

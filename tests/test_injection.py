@@ -46,6 +46,38 @@ class TestUniformFaults:
         b = uniform_faults(mesh, 50, np.random.default_rng(5))
         assert a == b
 
+    def test_dense_draw_fills_all_but_one(self, rng):
+        """Rejection sampling would thrash here; the dense path must place
+        size-1 faults in one without-replacement draw."""
+        mesh = Mesh2D(20, 20)
+        faults = uniform_faults(mesh, mesh.size - 1, rng)
+        assert len(faults) == mesh.size - 1
+        assert len(set(faults)) == mesh.size - 1
+
+    def test_dense_draw_respects_forbidden(self, rng):
+        mesh = Mesh2D(8, 8)
+        forbidden = {(x, 0) for x in range(8)}
+        faults = uniform_faults(mesh, 56, rng, forbidden=forbidden)
+        assert len(faults) == 56
+        assert not set(faults) & forbidden
+
+    def test_dense_draw_exact_fill(self, rng):
+        mesh = Mesh2D(12, 12)
+        forbidden = {(0, 0), (11, 11)}
+        faults = uniform_faults(mesh, mesh.size - 2, rng, forbidden=forbidden)
+        assert set(faults) == set(mesh.nodes()) - forbidden
+
+    def test_dense_draw_reproducible(self):
+        mesh = Mesh2D(10, 10)
+        a = uniform_faults(mesh, 70, np.random.default_rng(9))
+        b = uniform_faults(mesh, 70, np.random.default_rng(9))
+        assert a == b
+
+    def test_out_of_bounds_forbidden_does_not_shrink_capacity(self, rng):
+        mesh = Mesh2D(4, 4)
+        faults = uniform_faults(mesh, 16, rng, forbidden={(99, 99)})
+        assert len(faults) == 16
+
 
 class TestClusteredFaults:
     def test_faults_near_centers(self, rng):

@@ -62,6 +62,41 @@ class TestRunUntilAdvancesClock:
         engine.run()
         assert engine.now == 11.0
 
+    def test_event_exactly_at_horizon_is_delivered(self, scheduler):
+        engine = Engine(scheduler)
+        hits = []
+        engine.schedule(3.0, hits.append, 3.0)
+        processed = engine.run(until=3.0)
+        assert hits == [3.0]
+        assert processed == 1
+        assert engine.pending == 0
+
+    def test_float_drift_does_not_strand_horizon_events(self, scheduler):
+        """Three chained 0.1 delays land at 0.30000000000000004 -- a few
+        ulps past the horizon 0.3.  Such events must still be delivered
+        (and counted), not stranded forever just past the clock."""
+        engine = Engine(scheduler)
+        hits = []
+
+        def hop(remaining):
+            hits.append(engine.now)
+            if remaining:
+                engine.schedule(0.1, hop, remaining - 1)
+
+        engine.schedule(0.1, hop, 2)
+        engine.run(until=0.3)
+        assert len(hits) == 3
+        assert engine.pending == 0
+
+    def test_horizon_slack_does_not_pull_in_later_events(self, scheduler):
+        """The ulp slack is microscopic: an event a genuine tick beyond
+        the horizon stays pending."""
+        engine = Engine(scheduler)
+        engine.schedule(3.0, lambda: None)
+        engine.schedule(3.0000001, lambda: None)
+        assert engine.run(until=3.0) == 1
+        assert engine.pending == 1
+
 
 # ----------------------------------------------------------------------
 # Property: bucket scheduler is bit-identical to the heap scheduler
@@ -305,3 +340,36 @@ class TestPathPolicyCacheBound:
     def test_default_cache_is_bounded(self):
         policy = PathPolicy(lambda s, d: (s, d))
         assert policy._cache.maxsize == 1024
+
+
+class TestPathPolicyInvalidation:
+    def test_stale_paths_dropped_when_fault_set_changes(self):
+        """A live fault landing on a memoised route must not keep being
+        served: invalidate() flushes the cache and the rebuilt path
+        avoids the new fault."""
+        from repro.routing.detour import DetourRouter
+
+        mesh = Mesh2D(9, 9)
+        faults: list = []
+
+        def route(source, dest):
+            return DetourRouter(mesh, build_faulty_blocks(mesh, faults)).route(
+                source, dest
+            )
+
+        policy = PathPolicy(route)
+        path = policy.path_for((0, 4), (8, 4))
+        victim = path.nodes[len(path.nodes) // 2]
+        faults.append(victim)
+        # Without invalidation the cache still serves the stale route
+        # straight through the fault -- that is the hazard.
+        assert victim in policy.path_for((0, 4), (8, 4)).nodes
+        policy.invalidate()
+        fresh = policy.path_for((0, 4), (8, 4))
+        assert victim not in fresh.nodes
+        assert len(policy._cache) == 1
+
+    def test_invalidate_on_empty_cache_is_harmless(self):
+        policy = PathPolicy(lambda s, d: (s, d))
+        policy.invalidate()
+        assert len(policy._cache) == 0
