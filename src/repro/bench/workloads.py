@@ -206,6 +206,18 @@ def builtin_registry() -> BenchRegistry:
     def run_sim_formation_heap(state):
         return _run_formation(state, "heap", "legacy")
 
+    @registry.register(
+        "sim.formation_recorded", kind="macro", setup=sim_formation_setup,
+        description="the fast-path workload with a flight recorder installed "
+                    "(recorder-on overhead vs sim.formation_large)",
+        repeats=10, quick_repeats=3,
+    )
+    def run_sim_formation_recorded(state):
+        from repro.obs import FlightRecorder, use_tracer
+
+        with use_tracer(FlightRecorder()):
+            return _run_formation(state, "buckets", "fast")
+
     def dynamic_setup(config):
         from repro.faults.injection import injection_sequence
         from repro.mesh.topology import Mesh2D

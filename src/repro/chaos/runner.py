@@ -19,7 +19,7 @@ then compares the surviving distributed state with the batch oracles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.core.safety import SafetyLevels
 from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
 from repro.obs.prof import get_profiler
+from repro.obs.recorder import FlightRecorder
 from repro.simulator.engine import Engine
 from repro.simulator.network import MeshNetwork, NetworkStats
 from repro.simulator.protocols.dynamic_update import DynamicNode
@@ -70,12 +71,15 @@ class ChaosRunner:
         latency: float = 1.0,
         scheduler: str = "buckets",
         stabilize_rounds: int = 1,
+        recorder: FlightRecorder | None = None,
     ):
         self.mesh = mesh
         self.plan = plan
         self.schedule = schedule if schedule is not None else ChaosSchedule()
         self.latency = latency
+        self.scheduler = scheduler
         self.stabilize_rounds = stabilize_rounds
+        self.recorder = recorder
         self.engine = Engine(scheduler)
 
         def factory(coord: Coord, network: MeshNetwork) -> DynamicNode:
@@ -83,12 +87,77 @@ class ChaosRunner:
 
         self._factory = factory
         self.network = MeshNetwork(
-            mesh, self.engine, factory, faulty=faults, latency=latency, chaos=plan
+            mesh, self.engine, factory, faulty=faults, latency=latency, chaos=plan,
+            tracer=recorder,
         )
         self.crashed: list[Coord] = []
         self.revived: list[Coord] = []
         self.skipped: list[ChaosEvent] = []
+        self._primed = False
         self._ran = False
+
+    # ------------------------------------------------------------------
+    def recipe(self) -> dict[str, Any]:
+        """The replayable description of this run: everything
+        :func:`repro.obs.replay.build_runner` needs to reconstruct it.
+        Must be taken before :meth:`run` mutates the fault set."""
+        plan_spec = None
+        if self.plan is not None:
+            plan_spec = {
+                "drop": self.plan.drop,
+                "duplicate": self.plan.duplicate,
+                "corrupt": self.plan.corrupt,
+                "jitter": self.plan.jitter,
+                "seed": self.plan.seed,
+            }
+        return {
+            "kind": "chaos",
+            "n": self.mesh.n,
+            "m": self.mesh.m,
+            "faults": [list(coord) for coord in sorted(self.network.faulty)],
+            "plan": plan_spec,
+            "schedule": [
+                [event.time, event.action, list(event.coord)]
+                for event in self.schedule
+            ],
+            "latency": self.latency,
+            "scheduler": self.scheduler,
+            "stabilize_rounds": self.stabilize_rounds,
+        }
+
+    def prime(self) -> None:
+        """Schedule the initial fault notifications and the chaos script
+        (everything :meth:`run` does before draining), without draining.
+
+        Split out so the replay layer can prime a runner and then drive
+        the engine to an arbitrary ``until=`` horizon (time travel).
+        """
+        if self._primed:
+            raise RuntimeError("a ChaosRunner is single-use; build a new one")
+        self._primed = True
+        network, engine = self.network, self.engine
+
+        root: int | None = None
+        recorder = self.recorder
+        if recorder is not None:
+            if self.plan is not None:
+                # The recording's recipe rebuilds the plan from its seed;
+                # start the recorded run from the same point so replay
+                # sees the identical verdict stream.
+                self.plan.reset()
+            root = recorder.emit("run_meta", recipe=self.recipe())
+
+        # Initial faults are detected by their neighbours after one link
+        # latency, like a DynamicMesh injection at t=0.
+        for coord in sorted(network.faulty):
+            for direction, neighbor in self.mesh.neighbor_items(coord):
+                engine.schedule(
+                    self.latency, self._notify_down, neighbor, direction.opposite, root
+                )
+        # Chaos events land at absolute ticks, interleaved with protocol
+        # traffic (engine.now is 0 here, so delay == absolute time).
+        for event in self.schedule:
+            engine.schedule(event.time, self._apply, event)
 
     # ------------------------------------------------------------------
     def run(self) -> ChaosOutcome:
@@ -97,18 +166,8 @@ class ChaosRunner:
             raise RuntimeError("a ChaosRunner is single-use; build a new one")
         self._ran = True
         network, engine = self.network, self.engine
-
-        # Initial faults are detected by their neighbours after one link
-        # latency, like a DynamicMesh injection at t=0.
-        for coord in sorted(network.faulty):
-            for direction, neighbor in self.mesh.neighbor_items(coord):
-                engine.schedule(
-                    self.latency, self._notify_down, neighbor, direction.opposite
-                )
-        # Chaos events land at absolute ticks, interleaved with protocol
-        # traffic (engine.now is 0 here, so delay == absolute time).
-        for event in self.schedule:
-            engine.schedule(event.time, self._apply, event)
+        if not self._primed:
+            self.prime()
 
         budget = chaos_event_budget(network)
         network.run(max_events=budget)
@@ -132,17 +191,23 @@ class ChaosRunner:
     # ------------------------------------------------------------------
     def _apply(self, event: ChaosEvent) -> None:
         prof = get_profiler()
+        recorder = self.recorder
         if event.action == "crash":
             if event.coord in self.network.faulty:
                 self.skipped.append(event)
                 return
             self.network.fail_node(event.coord)
             self.crashed.append(event.coord)
+            cause: int | None = None
+            if recorder is not None:
+                cause = recorder.emit(
+                    "chaos_crash", at=event.coord, time=self.engine.now
+                )
             if prof.enabled:
                 prof.count("chaos.crashes")
             for direction, neighbor in self.mesh.neighbor_items(event.coord):
                 self.engine.schedule(
-                    self.latency, self._notify_down, neighbor, direction.opposite
+                    self.latency, self._notify_down, neighbor, direction.opposite, cause
                 )
         else:  # revive
             if event.coord not in self.network.faulty or event.coord not in self.crashed:
@@ -154,27 +219,55 @@ class ChaosRunner:
             # the revived node restarts its sequence numbers, and stale
             # (epoch, seq) pairs must not collide with fresh ones.
             self.network.chaos_epoch += 1
+            cause = None
+            if recorder is not None:
+                cause = recorder.emit(
+                    "chaos_revive", at=event.coord, time=self.engine.now
+                )
+                recorder.emit(
+                    "epoch_bump", cause=cause, epoch=self.network.chaos_epoch,
+                    reason="revive", time=self.engine.now,
+                )
             process = self.network.restore_node(event.coord, self._factory)
             self.revived.append(event.coord)
             if prof.enabled:
                 prof.count("chaos.revives")
-            process.local_restart()
+            if recorder is not None:
+                restart_id = recorder.emit(
+                    "proc_restart", cause=cause, at=event.coord, time=self.engine.now
+                )
+                with recorder.cause_scope(restart_id):
+                    process.local_restart()
+            else:
+                process.local_restart()
             for direction, neighbor in self.mesh.neighbor_items(event.coord):
                 self.engine.schedule(
-                    self.latency, self._notify_up, neighbor, direction.opposite
+                    self.latency, self._notify_up, neighbor, direction.opposite, cause
                 )
 
-    def _notify_down(self, coord: Coord, direction: Direction) -> None:
+    def _notify_down(
+        self, coord: Coord, direction: Direction, cause: int | None = None
+    ) -> None:
         """Failure detection: resolved at fire time, because the observer
         itself may have crashed (or been replaced) in the meantime."""
         process = self.network.nodes.get(coord)
         if isinstance(process, DynamicNode):
-            process.neighbor_became_unusable(direction)
+            if cause is not None and self.recorder is not None:
+                with self.recorder.cause_scope(cause):
+                    process.neighbor_became_unusable(direction)
+            else:
+                process.neighbor_became_unusable(direction)
 
-    def _notify_up(self, coord: Coord, direction: Direction) -> None:
+    def _notify_up(
+        self, coord: Coord, direction: Direction, cause: int | None = None
+    ) -> None:
         process = self.network.nodes.get(coord)
         if isinstance(process, DynamicNode):
-            process.neighbor_became_usable(direction)
+            if cause is not None and self.recorder is not None:
+                with self.recorder.cause_scope(cause):
+                    process.neighbor_became_usable(direction)
+            else:
+                process.neighbor_became_usable(direction)
 
     # ------------------------------------------------------------------
     # Final-state accessors (for the verifier)

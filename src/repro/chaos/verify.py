@@ -19,13 +19,17 @@ node, that the distributed state re-converged to the ground truth:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.chaos.plan import ChannelFaultPlan
 from repro.chaos.runner import ChaosOutcome, ChaosRunner
 from repro.chaos.schedule import ChaosSchedule
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.replay import DivergenceReport
 from repro.core.batched import batch_is_safe
 from repro.core.safety import compute_safety_levels
 from repro.faults.blocks import build_faulty_blocks
@@ -51,6 +55,11 @@ class ConvergenceReport:
     final_faults: tuple[Coord, ...]
     pairs_checked: int
     outcome: ChaosOutcome = field(repr=False)
+    #: Attached only when the run was flight-recorded *and* diverged: the
+    #: recorded run replayed against itself, bisected to the first
+    #: divergent event.  An identical replay means the divergence is a
+    #: genuine protocol/oracle disagreement, not nondeterminism.
+    bisection: "DivergenceReport | None" = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -64,7 +73,10 @@ class ConvergenceReport:
             f"safety verdicts {'ok' if self.safety_ok else f'{len(self.safety_mismatches)} mismatches'}"
             f" over {self.pairs_checked} pairs",
         ]
-        return "; ".join(parts) + f"; {self.outcome.summary()}"
+        text = "; ".join(parts) + f"; {self.outcome.summary()}"
+        if self.bisection is not None:
+            text += f"; record/replay bisection: {self.bisection.summary()}"
+        return text
 
 
 def verify_convergence(
@@ -78,12 +90,19 @@ def verify_convergence(
     stabilize_rounds: int = 2,
     sample_pairs: int = 32,
     seed: int = 0,
+    recorder: "FlightRecorder | None" = None,
 ) -> ConvergenceReport:
     """Run chaos, stabilize, and prove the distributed state re-converged.
 
     ``stabilize_rounds`` defaults to 2: one pulse is sufficient when no
     membership changed during the pulse itself, two make the check robust
     to anything the first drain left behind.
+
+    Passing a ``recorder`` flight-records the run; if the report then
+    diverges, the recording is immediately replayed and bisected against
+    itself and the verdict is attached as ``report.bisection`` -- so a
+    red chaos gate ships the exact first divergent event (or proof the
+    run was deterministic) along with the state diff.
     """
     runner = ChaosRunner(
         mesh,
@@ -93,6 +112,7 @@ def verify_convergence(
         latency=latency,
         scheduler=scheduler,
         stabilize_rounds=stabilize_rounds,
+        recorder=recorder,
     )
     outcome = runner.run()
 
@@ -157,6 +177,13 @@ def verify_convergence(
                     # exists: a soundness violation, not just staleness.
                     safety_mismatches.append((source, dest))
 
+    bisection = None
+    diverged = bool(block_mismatches or esl_mismatches or safety_mismatches)
+    if recorder is not None and diverged:
+        from repro.obs.replay import replay_events
+
+        bisection = replay_events(recorder.events).divergence
+
     return ConvergenceReport(
         blocks_ok=not block_mismatches,
         esl_ok=not esl_mismatches,
@@ -167,4 +194,5 @@ def verify_convergence(
         final_faults=outcome.final_faults,
         pairs_checked=pairs_checked,
         outcome=outcome,
+        bisection=bisection,
     )

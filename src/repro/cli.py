@@ -13,7 +13,12 @@ Subcommands cover the library's workflows:
 - ``protocols`` run the distributed information protocols and report cost;
 - ``chaos``     torment the hardened protocols with message loss and
   crash/revive schedules, then verify re-convergence against the batch
-  oracles (non-zero exit on divergence);
+  oracles (non-zero exit on divergence); ``--record`` flight-records the
+  run to a replayable log;
+- ``replay``    re-execute a flight-recorder log and assert bit-identical
+  event streams; ``--at`` time-travels to any tick, ``--lineage`` prints
+  an event's causal ancestry, ``--bisect`` finds the first divergent
+  event between two logs;
 - ``bench``     run the benchmark registry, write ``BENCH_<n>.json`` at the
   repo root, and optionally gate against a baseline (``--compare``).
 """
@@ -85,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--jsonl", type=pathlib.Path, help="also dump the raw trace events as JSONL"
     )
+    trace.add_argument(
+        "--kind", action="append", metavar="KIND",
+        help="only show events of this kind (repeatable; see EVENT_KINDS)",
+    )
+    trace.add_argument(
+        "--node", type=_parse_coord, action="append", metavar="X,Y",
+        help="only show events touching this node (repeatable)",
+    )
 
     stats = sub.add_parser(
         "stats", help="aggregate routing/protocol metrics for one scenario"
@@ -138,6 +151,43 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--pulses", type=int, default=2,
         help="stabilization pulses after the schedule (default 2)",
+    )
+    chaos.add_argument(
+        "--record", type=pathlib.Path, metavar="LOG",
+        help="flight-record the run to this JSONL log (plus a seekable "
+        ".idx sidecar); a diverging report then includes a record/replay "
+        "bisection to the first divergent event",
+    )
+
+    replay = sub.add_parser(
+        "replay", help="replay, inspect, or bisect a flight-recorder log"
+    )
+    replay.add_argument(
+        "log", type=pathlib.Path, help="a recording made with 'chaos --record'"
+    )
+    replay.add_argument(
+        "--at", type=float, metavar="TICK",
+        help="time-travel: reconstruct the network state at this simulated tick",
+    )
+    replay.add_argument(
+        "--lineage", type=int, metavar="EVENT_ID",
+        help="print the causal ancestry tree of one event",
+    )
+    replay.add_argument(
+        "--bisect", type=pathlib.Path, metavar="OTHER",
+        help="binary-search this log against OTHER for the first divergent event",
+    )
+    replay.add_argument(
+        "--print", action="store_true", dest="print_events",
+        help="dump the recorded events instead of replaying",
+    )
+    replay.add_argument(
+        "--kind", action="append", metavar="KIND",
+        help="with --print: only show events of this kind (repeatable)",
+    )
+    replay.add_argument(
+        "--node", type=_parse_coord, action="append", metavar="X,Y",
+        help="with --print: only show events touching this node (repeatable)",
     )
 
     bench = sub.add_parser(
@@ -350,6 +400,39 @@ def _format_trace_event(event) -> str | None:
     return None
 
 
+#: Payload fields that can hold a node coordinate (``--node`` filtering).
+_COORD_FIELDS = ("at", "to", "src", "dst", "source", "dest", "blocked", "via")
+
+
+def _event_touches_node(event, nodes) -> bool:
+    """True if any coordinate-valued payload field names one of ``nodes``."""
+    for key in _COORD_FIELDS:
+        value = event.data.get(key)
+        if value is None:
+            continue
+        try:
+            coord = (int(value[0]), int(value[1]))
+        except (TypeError, ValueError, IndexError, KeyError):
+            continue
+        if coord in nodes:
+            return True
+    return False
+
+
+def _check_kind_filter(kinds, out: Callable[[str], None]) -> int:
+    """Validate ``--kind`` values against the event vocabulary (0 = ok)."""
+    from repro.obs import EVENT_KINDS
+
+    unknown = [kind for kind in kinds or () if kind not in EVENT_KINDS]
+    if unknown:
+        out(
+            f"error: unknown event kind(s) {', '.join(unknown)}; "
+            f"valid kinds: {', '.join(sorted(EVENT_KINDS))}"
+        )
+        return 2
+    return 0
+
+
 def _cmd_trace(args, out: Callable[[str], None]) -> int:
     from repro.core.conditions import DecisionKind, safe_source_decision
     from repro.core.extensions import (
@@ -365,6 +448,8 @@ def _cmd_trace(args, out: Callable[[str], None]) -> int:
     from repro.routing.detour import DetourRouter
     from repro.routing.router import RoutingError
 
+    if _check_kind_filter(args.kind, out):
+        return 2
     scenario, _ = _build_scenario(args)
     mesh, blocks = scenario.mesh, scenario.blocks
     source, dest = args.source, args.dest
@@ -457,8 +542,19 @@ def _cmd_trace(args, out: Callable[[str], None]) -> int:
         tracer.close()
 
     out("")
+    kinds = set(args.kind) if args.kind else None
+    nodes = set(args.node) if args.node else None
+    filtered = kinds is not None or nodes is not None
     for event in ring:
+        if kinds is not None and event.kind not in kinds:
+            continue
+        if nodes is not None and not _event_touches_node(event, nodes):
+            continue
         line = _format_trace_event(event)
+        if line is None and filtered:
+            # Under an explicit filter, kinds without a pretty form (e.g.
+            # protocol_msg) are still wanted: show the raw event.
+            line = str(event)
         if line is not None:
             out(line)
 
@@ -649,10 +745,25 @@ def _cmd_chaos(args, out: Callable[[str], None]) -> int:
         f"{mesh}: {len(faults)} initial faults; plan: {plan.describe()}; "
         f"schedule: {args.events} events; {args.pulses} stabilization pulse(s)"
     )
-    report = verify_convergence(
-        mesh, faults, plan, schedule,
-        stabilize_rounds=args.pulses, seed=args.chaos_seed,
-    )
+    recorder = None
+    if args.record is not None:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(args.record)
+    try:
+        report = verify_convergence(
+            mesh, faults, plan, schedule,
+            stabilize_rounds=args.pulses, seed=args.chaos_seed,
+            recorder=recorder,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
+    if recorder is not None:
+        out(
+            f"recorded {len(recorder.events)} events to {args.record} "
+            f"(index: {args.record.name}.idx)"
+        )
     out(report.summary())
     if not report.ok:
         for coord in report.block_mismatches[:10]:
@@ -661,6 +772,84 @@ def _cmd_chaos(args, out: Callable[[str], None]) -> int:
             out(f"  ESL mismatch at {coord} {direction}: distributed {got}, oracle {want}")
         for source, dest in report.safety_mismatches[:10]:
             out(f"  safety verdict mismatch for {source} -> {dest}")
+        if report.bisection is not None:
+            out(report.bisection.render())
+        return 1
+    return 0
+
+
+def _cmd_replay(args, out: Callable[[str], None]) -> int:
+    from repro.obs.recorder import read_recording
+    from repro.obs.replay import bisect_logs, render_lineage, replay_events, state_at
+    from repro.obs.sinks import JsonlDecodeError
+
+    if _check_kind_filter(args.kind, out):
+        return 2
+    if not args.log.exists():
+        out(f"error: recording {args.log} does not exist")
+        return 2
+    try:
+        events = read_recording(args.log)
+    except JsonlDecodeError as error:
+        out(f"error: {error}")
+        return 2
+
+    if args.bisect is not None:
+        if not args.bisect.exists():
+            out(f"error: recording {args.bisect} does not exist")
+            return 2
+        report = bisect_logs(args.log, args.bisect)
+        out(f"{args.log} vs {args.bisect} ({report.probes} index probes):")
+        out(report.render())
+        return 0 if report.identical else 1
+
+    if args.lineage is not None:
+        try:
+            out(render_lineage(events, args.lineage))
+        except KeyError:
+            out(
+                f"error: event {args.lineage} is not in this recording "
+                f"(ids 0..{len(events) - 1})"
+            )
+            return 2
+        return 0
+
+    if args.at is not None:
+        try:
+            snapshot = state_at(events, args.at)
+        except ValueError as error:
+            out(f"error: {error}")
+            return 2
+        out(snapshot.summary())
+        if snapshot.faults:
+            out("faults: " + ", ".join(str(c) for c in snapshot.faults))
+        disabled = [c for c in snapshot.unusable if c not in set(snapshot.faults)]
+        if disabled:
+            out("block-disabled: " + ", ".join(str(c) for c in disabled))
+        return 0
+
+    kinds = set(args.kind) if args.kind else None
+    nodes = set(args.node) if args.node else None
+    if args.print_events:
+        shown = 0
+        for event in events:
+            if kinds is not None and event.kind not in kinds:
+                continue
+            if nodes is not None and not _event_touches_node(event, nodes):
+                continue
+            out(str(event))
+            shown += 1
+        out(f"({shown} of {len(events)} events)")
+        return 0
+
+    try:
+        result = replay_events(events)
+    except ValueError as error:
+        out(f"error: {error}")
+        return 2
+    out(result.summary())
+    if not result.identical:
+        out(result.divergence.render())
         return 1
     return 0
 
@@ -728,6 +917,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "chaos": _cmd_chaos,
+    "replay": _cmd_replay,
     "bench": _cmd_bench,
     "protocols": _cmd_protocols,
     "memory": _cmd_memory,

@@ -35,10 +35,38 @@ On top of tracing sit the performance-observatory pieces:
   metrics snapshot (``repro stats --prom``);
 - every :class:`~repro.obs.metrics.Histogram` carries deterministic
   p50/p95/p99 percentiles from a bounded, seeded reservoir.
+
+And the flight recorder (:mod:`repro.obs.recorder` /
+:mod:`repro.obs.replay`): install a :class:`FlightRecorder` and the
+simulator captures every decision point with causal lineage into a
+replayable, seekable log -- ``repro replay`` re-executes it and asserts
+bit-identical event streams, ``--at`` time-travels, ``--lineage`` walks
+ancestry, and ``--bisect`` binary-searches two logs to their first
+divergent event.
 """
 
 from repro.obs.events import EVENT_KINDS, TraceEvent, jsonable
 from repro.obs.metrics import Histogram, MetricsSink
+from repro.obs.recorder import (
+    FlightRecorder,
+    RecorderSink,
+    ancestry,
+    canonical,
+    read_index,
+    read_recording,
+    render_lineage,
+)
+from repro.obs.replay import (
+    DivergenceReport,
+    ReplayResult,
+    StateSnapshot,
+    bisect_logs,
+    bisect_streams,
+    lineage_of,
+    replay_events,
+    replay_recording,
+    state_at,
+)
 from repro.obs.prof import (
     NULL_PROFILER,
     NullProfiler,
@@ -66,6 +94,8 @@ from repro.obs.tracer import (
 
 __all__ = [
     "EVENT_KINDS",
+    "DivergenceReport",
+    "FlightRecorder",
     "Histogram",
     "JsonlDecodeError",
     "JsonlSink",
@@ -75,15 +105,28 @@ __all__ = [
     "NullProfiler",
     "NullTracer",
     "Profiler",
+    "RecorderSink",
+    "ReplayResult",
     "RingBufferSink",
     "Sink",
+    "StateSnapshot",
     "TraceEvent",
     "Tracer",
+    "ancestry",
+    "bisect_logs",
+    "bisect_streams",
+    "canonical",
     "get_profiler",
     "get_tracer",
     "jsonable",
+    "lineage_of",
+    "read_index",
     "read_jsonl",
+    "read_recording",
+    "render_lineage",
     "render_prometheus",
+    "replay_events",
+    "replay_recording",
     "set_profiler",
     "set_tracer",
     "use_profiler",

@@ -20,9 +20,29 @@ kind                meaning
 ``route_failed``    a router got stuck; carries the partial trace
 ``protocol_msg``    a simulator message entered a channel (kind, queue depth)
 ``engine_run``      a discrete-event engine drained (events, pending, time)
-``span_start``      a timed section opened
-``span_end``        a timed section closed; carries ``duration`` seconds
+``span_start``      a timed section opened; carries its ``span_id``
+``span_end``        a timed section closed; carries ``span_id`` and
+                    ``duration`` seconds, and its ``cause`` is the matching
+                    ``span_start`` event id
+``run_meta``        flight-recorder header: the full recipe needed to
+                    re-execute the recorded run
+``tick``            flight recorder observed simulated time advancing
+``msg_send``        recorder: a message entered a live channel
+``msg_deliver``     recorder: a message reached its destination process;
+                    ``cause`` is the originating ``msg_send``
+``msg_drop``        recorder: a send hit a downed channel (silent loss)
+``msg_lost``        recorder: chaos discarded an in-flight message
+``msg_dup``         recorder: chaos scheduled a ghost duplicate delivery
+``chaos_crash``     recorder: a chaos schedule crashed a node
+``chaos_revive``    recorder: a chaos schedule revived a node
+``epoch_bump``      recorder: the chaos epoch advanced (revive/stabilize),
+                    fencing off all in-flight traffic
+``proc_restart``    recorder: a process re-ran its protocol from local state
 ==================  =========================================================
+
+Events additionally carry an optional ``cause``: the ``seq`` of the event
+that triggered this one, forming the causal-lineage chains the flight
+recorder (:mod:`repro.obs.recorder`) walks.
 """
 
 from __future__ import annotations
@@ -44,6 +64,17 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "engine_run",
         "span_start",
         "span_end",
+        "run_meta",
+        "tick",
+        "msg_send",
+        "msg_deliver",
+        "msg_drop",
+        "msg_lost",
+        "msg_dup",
+        "chaos_crash",
+        "chaos_revive",
+        "epoch_bump",
+        "proc_restart",
     }
 )
 
@@ -74,26 +105,43 @@ def jsonable(value: Any) -> Any:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One typed observation."""
+    """One typed observation.
+
+    ``cause`` is the ``seq`` of the event that triggered this one (or None
+    for root events); chains of causes are the flight recorder's lineage.
+    """
 
     kind: str
     seq: int
     data: Mapping[str, Any] = field(default_factory=dict)
+    cause: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {self.kind!r} (see EVENT_KINDS)")
 
     def to_dict(self) -> dict[str, Any]:
-        """Canonical JSON-ready form (tuples -> lists, enums -> names)."""
-        return {"kind": self.kind, "seq": self.seq, "data": jsonable(dict(self.data))}
+        """Canonical JSON-ready form (tuples -> lists, enums -> names).
+
+        ``cause`` is serialized only when set, so cause-free traces are
+        byte-identical to those written before lineage existed.
+        """
+        out = {"kind": self.kind, "seq": self.seq, "data": jsonable(dict(self.data))}
+        if self.cause is not None:
+            out["cause"] = self.cause
+        return out
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "TraceEvent":
+        cause = payload.get("cause")
         return TraceEvent(
-            kind=payload["kind"], seq=int(payload["seq"]), data=dict(payload["data"])
+            kind=payload["kind"],
+            seq=int(payload["seq"]),
+            data=dict(payload["data"]),
+            cause=None if cause is None else int(cause),
         )
 
     def __str__(self) -> str:
         fields = ", ".join(f"{k}={v}" for k, v in self.data.items())
-        return f"[{self.seq}] {self.kind}({fields})"
+        origin = f" <-{self.cause}" if self.cause is not None else ""
+        return f"[{self.seq}]{origin} {self.kind}({fields})"

@@ -32,23 +32,39 @@ from repro.obs.sinks import Sink
 
 class _Span:
     """A timed section: ``span_start`` on enter, ``span_end`` (with
-    ``duration`` in seconds) on exit."""
+    ``duration`` in seconds) on exit.
 
-    __slots__ = ("_tracer", "_name", "_data", "_t0")
+    Both events carry the same ``span_id`` (allocated per tracer), so
+    start/end pair up even when spans of the same name interleave; the
+    ``span_end`` additionally names its ``span_start`` as its cause.
+    """
+
+    __slots__ = ("_tracer", "_name", "_data", "_t0", "span_id", "_start_id")
 
     def __init__(self, tracer: "Tracer", name: str, data: dict[str, Any]):
         self._tracer = tracer
         self._name = name
         self._data = data
+        self.span_id = next(tracer._span_seq)
+        self._start_id: int | None = None
 
     def __enter__(self) -> "_Span":
         self._t0 = time.perf_counter()
-        self._tracer.emit("span_start", name=self._name, **self._data)
+        self._start_id = self._tracer.emit(
+            "span_start", name=self._name, span_id=self.span_id, **self._data
+        )
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         duration = time.perf_counter() - self._t0
-        self._tracer.emit("span_end", name=self._name, duration=duration, **self._data)
+        self._tracer.emit(
+            "span_end",
+            cause=self._start_id,
+            name=self._name,
+            span_id=self.span_id,
+            duration=duration,
+            **self._data,
+        )
 
 
 class _NullSpan:
@@ -70,18 +86,31 @@ class Tracer:
     """Emit typed events to one or more sinks."""
 
     enabled: bool = True
+    #: True only on :class:`~repro.obs.recorder.FlightRecorder`; hot paths
+    #: cache this to decide whether to take the recorded (lineage-emitting)
+    #: code path.
+    recording: bool = False
+    #: Causal-scope slots; only the flight recorder maintains them, but
+    #: they exist on every tracer so a recorded delivery that fires after
+    #: the recorder was swapped out degrades to no-ops instead of raising.
+    cause: int | None = None
+    last_send_id: int | None = None
 
     def __init__(self, *sinks: Sink):
         self._sinks: list[Sink] = list(sinks)
         self._seq = itertools.count()
+        self._span_seq = itertools.count()
 
     def add_sink(self, sink: Sink) -> None:
         self._sinks.append(sink)
 
-    def emit(self, kind: str, **data: Any) -> None:
-        event = TraceEvent(kind=kind, seq=next(self._seq), data=data)
+    def emit(self, kind: str, *, cause: int | None = None, **data: Any) -> int:
+        """Record one event; returns its event id (the ``seq``) so callers
+        can thread it as the ``cause`` of downstream events."""
+        event = TraceEvent(kind=kind, seq=next(self._seq), data=data, cause=cause)
         for sink in self._sinks:
             sink.record(event)
+        return event.seq
 
     def span(self, name: str, **data: Any) -> _Span:
         """Context manager timing a section; see :class:`_Span`."""
@@ -103,8 +132,8 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__()
 
-    def emit(self, kind: str, **data: Any) -> None:
-        pass
+    def emit(self, kind: str, *, cause: int | None = None, **data: Any) -> int:
+        return -1
 
     def span(self, name: str, **data: Any) -> _NullSpan:  # type: ignore[override]
         return _NULL_SPAN

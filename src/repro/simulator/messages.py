@@ -25,6 +25,10 @@ class Message:
     the message without acknowledging it, which is what forces the sender's
     retransmit.  Unhardened protocols never see corrupted messages because
     only a :class:`~repro.chaos.plan.ChannelFaultPlan` sets the flag.
+
+    ``trace_id`` is set only while a flight recorder is installed: the
+    event id of the ``msg_send`` that put this message on the wire, so the
+    delivery can name its cause and lineage survives the hop.
     """
 
     src: Coord
@@ -33,6 +37,7 @@ class Message:
     payload: Any = None
     arrival_direction: Direction | None = None
     corrupted: bool = False
+    trace_id: int | None = None
 
     def delivered_via(self, direction: Direction) -> "Message":
         """A copy annotated with the receiver-side arrival direction."""
@@ -43,6 +48,7 @@ class Message:
             payload=self.payload,
             arrival_direction=direction,
             corrupted=self.corrupted,
+            trace_id=self.trace_id,
         )
 
     def __str__(self) -> str:

@@ -281,6 +281,7 @@ class MeshNetwork:
         trc = self.tracer if self.tracer is not None else get_tracer()
         self._trc = trc
         self._trace_on = trc.enabled
+        self._rec_on = trc.recording
         prof = get_profiler()
         self._prof = prof
         self._prof_on = prof.enabled
@@ -288,6 +289,8 @@ class MeshNetwork:
 
     def send_from(self, src: Coord, direction: Direction, kind: str, payload) -> bool:
         """Send one hop; False if the link does not exist (mesh edge)."""
+        if self._rec_on:
+            return self._send_from_recorded(src, direction, kind, payload)
         if self._chaos_on:
             return self._send_from_chaos(src, direction, kind, payload)
         x, y = src
@@ -372,6 +375,103 @@ class MeshNetwork:
             # The ghost copy trails the original by one latency.
             self.engine.schedule(delay + self.latency, self._deliver, (nx, ny), message)
         return True
+
+    def _send_from_recorded(
+        self, src: Coord, direction: Direction, kind: str, payload
+    ) -> bool:
+        """The send path while a flight recorder is installed.
+
+        Behaviourally identical to the plain/chaos fast paths (same
+        accounting, same verdict-draw order, same scheduling pattern), but
+        every outcome is emitted as a lineage-carrying event -- in place
+        of the coarser ``protocol_msg`` -- and the scheduled delivery goes
+        through :meth:`_deliver_recorded`, which stamps the receiving
+        handler's causal scope.  Never taken without a recorder, so the
+        uninstrumented hot path pays only the one cached-flag check in
+        :meth:`send_from`.
+        """
+        x, y = src
+        dx, dy = direction.value
+        nx, ny = x + dx, y + dy
+        if nx < 0 or ny < 0 or nx >= self._n or ny >= self._m:
+            return False
+        rec = self._trc
+        di = _DIR_INDEX[direction]
+        link_up = self.channel_up[x, y, di]
+        if self._prof_on:
+            self._prof.count("sim.messages")
+        if self._chaos_on:
+            # Verdicts are drawn before the link check (matching
+            # _send_from_chaos) so the perturbation stream is position-
+            # invariant whether or not a recorder is watching.
+            dropped, duplicated, corrupted, extra = self.chaos.draw()
+        else:
+            dropped = duplicated = corrupted = False
+            extra = 0
+        now = self.engine.now
+        dst = (nx, ny)
+        if not link_up:
+            event_id = rec.emit(
+                "msg_drop", cause=rec.cause, src=src, dst=dst,
+                direction=direction.name, msg=kind, time=now,
+            )
+            rec.last_send_id = event_id
+            self.channel_dropped[x, y, di] += 1
+            self.messages_dropped_total += 1
+            if self._prof_on:
+                self._prof.count("sim.dropped")
+            return True
+        event_id = rec.emit(
+            "msg_send", cause=rec.cause, src=src, dst=dst,
+            direction=direction.name, msg=kind, time=now, payload=payload,
+        )
+        rec.last_send_id = event_id
+        self.channel_carried[x, y, di] += 1
+        self.messages_carried_total += 1
+        if dropped:
+            rec.emit("msg_lost", cause=event_id, src=src, dst=dst, msg=kind, time=now)
+            self.channel_lost[x, y, di] += 1
+            self.messages_lost_total += 1
+            if self._prof_on:
+                self._prof.count("chaos.drops")
+            return True
+        delay = self.latency * (1 + extra)
+        message = Message(src, dst, kind, payload, direction.opposite, corrupted, event_id)
+        if corrupted and self._prof_on:
+            self._prof.count("chaos.corrupted")
+        self.engine.schedule(delay, self._deliver_recorded, dst, message)
+        if duplicated:
+            dup_id = rec.emit(
+                "msg_dup", cause=event_id, src=src, dst=dst, msg=kind, time=now
+            )
+            self.messages_duplicated_total += 1
+            if self._prof_on:
+                self._prof.count("chaos.duplicates")
+            # The ghost copy trails the original by one latency; it gets
+            # its own message object so its delivery chains to the
+            # msg_dup event rather than the original send.
+            ghost = Message(src, dst, kind, payload, direction.opposite, corrupted, dup_id)
+            self.engine.schedule(delay + self.latency, self._deliver_recorded, dst, ghost)
+        return True
+
+    def _deliver_recorded(self, dst: Coord, message: Message) -> None:
+        """Delivery under a flight recorder: emit the arrival (caused by
+        its send) and run the handler inside that causal scope, so every
+        send the handler makes chains to the message that provoked it."""
+        rec = self._trc
+        event_id = rec.emit(
+            "msg_deliver", cause=message.trace_id, at=dst, msg=message.kind,
+            time=self.engine.now, corrupted=message.corrupted,
+        )
+        process = self.nodes.get(dst)
+        if process is None:
+            return
+        previous = rec.cause
+        rec.cause = event_id
+        try:
+            process.on_message(message)
+        finally:
+            rec.cause = previous
 
     def note_retry(self, src: Coord, direction: Direction) -> None:
         """Account one retransmission on the ``src -> direction`` link."""

@@ -88,7 +88,9 @@ class ResilientProcess(NodeProcess):
         super().__init__(coord, network)
         self._rel_on = hardened
         self._rel_seq = 0
-        #: (direction, epoch, seq) -> [kind, envelope, attempts]
+        #: (direction, epoch, seq) -> [kind, envelope, attempts, sent_id]
+        #: (sent_id: the last attempt's msg_send event id under a flight
+        #: recorder, else None -- retransmit lineage)
         self._rel_outbox: dict[tuple[Direction, int, int], list] = {}
         #: direction -> set of delivered (epoch, seq)
         self._rel_seen: dict[Direction, set[tuple[int, int]]] = {}
@@ -104,14 +106,18 @@ class ResilientProcess(NodeProcess):
     def rsend(self, direction: Direction, kind: str, payload: Any = None) -> bool:
         if not self._rel_on:
             return self.send(direction, kind, payload)
-        epoch = self.network.chaos_epoch
+        network = self.network
+        epoch = network.chaos_epoch
         self._rel_seq += 1
         envelope = Envelope(epoch, self._rel_seq, payload)
         if not self.send(direction, kind, envelope):
             return False  # mesh edge: nothing to retry
         key = (direction, epoch, self._rel_seq)
-        self._rel_outbox[key] = [kind, envelope, 0]
-        self.network.engine.schedule(self._rel_timeout, self._rel_check, key, self._rel_timeout)
+        # Under a flight recorder the outbox remembers the send's event id
+        # so a retransmit can name the attempt it is retrying as its cause.
+        sent_id = network._trc.last_send_id if network._rec_on else None
+        self._rel_outbox[key] = [kind, envelope, 0, sent_id]
+        network.engine.schedule(self._rel_timeout, self._rel_check, key, self._rel_timeout)
         return True
 
     def rbroadcast(self, kind: str, payload: Any = None) -> int:
@@ -133,7 +139,7 @@ class ResilientProcess(NodeProcess):
             # re-derives whatever it was carrying.
             del self._rel_outbox[key]
             return
-        kind, envelope, attempts = entry
+        kind, envelope, attempts, sent_id = entry
         if attempts >= self._rel_max_retries:
             del self._rel_outbox[key]
             prof = get_profiler()
@@ -141,9 +147,16 @@ class ResilientProcess(NodeProcess):
                 prof.count("chaos.gave_up")
             return
         entry[2] = attempts + 1
-        self.network.note_retry(self.coord, direction)
-        self.send(direction, kind, envelope)
-        self.network.engine.schedule(timeout * 2.0, self._rel_check, key, timeout * 2.0)
+        network = self.network
+        network.note_retry(self.coord, direction)
+        if network._rec_on and sent_id is not None:
+            recorder = network._trc
+            with recorder.cause_scope(sent_id):
+                self.send(direction, kind, envelope)
+            entry[3] = recorder.last_send_id
+        else:
+            self.send(direction, kind, envelope)
+        network.engine.schedule(timeout * 2.0, self._rel_check, key, timeout * 2.0)
 
     # ------------------------------------------------------------------
     # Receive shim
@@ -234,12 +247,26 @@ def stabilize_network(network: MeshNetwork, rounds: int = 1) -> int:
     started_at = engine.now
     events = 0
     budget = chaos_event_budget(network)
+    recorder = network._trc if network._rec_on else None
     for _ in range(max(0, rounds)):
         network.chaos_epoch += 1
+        pulse_id = None
+        if recorder is not None:
+            pulse_id = recorder.emit(
+                "epoch_bump", epoch=network.chaos_epoch, reason="stabilize",
+                time=engine.now,
+            )
         for coord in sorted(network.nodes):
             process = network.nodes[coord]
             if isinstance(process, ResilientProcess):
-                process.local_restart()
+                if recorder is not None:
+                    restart_id = recorder.emit(
+                        "proc_restart", cause=pulse_id, at=coord, time=engine.now
+                    )
+                    with recorder.cause_scope(restart_id):
+                        process.local_restart()
+                else:
+                    process.local_restart()
         events += engine.run(max_events=budget)
     prof = get_profiler()
     if prof.enabled and engine.now > started_at:

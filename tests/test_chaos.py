@@ -14,6 +14,9 @@ Three layers of guarantees:
   final fault set.
 """
 
+import os
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -36,8 +39,39 @@ from repro.simulator.protocols import (
     run_safety_propagation,
     run_boundary_distribution,
 )
+from repro.obs import FlightRecorder
+from repro.obs.recorder import index_path_for
 from repro.simulator.protocols.dynamic_update import DynamicMesh
 from repro.simulator.protocols.reliable import ResilientProcess
+
+
+def _gate_recorder(name: str) -> FlightRecorder | None:
+    """Flight-record a gate run when ``REPRO_CHAOS_ARTIFACTS`` names a
+    directory (CI sets it so a red gate ships the evidence)."""
+    root = os.environ.get("REPRO_CHAOS_ARTIFACTS")
+    if not root:
+        return None
+    outdir = pathlib.Path(root)
+    outdir.mkdir(parents=True, exist_ok=True)
+    return FlightRecorder(outdir / f"{name}.jsonl")
+
+
+def _finish_gate_artifacts(recorder: FlightRecorder | None, report) -> None:
+    """Close the recording; keep the log (plus the replay/bisection
+    verdict) only for failing runs, so the artifact directory holds
+    exactly the failures worth downloading."""
+    if recorder is None:
+        return
+    recorder.close()
+    if report.ok:
+        recorder.path.unlink(missing_ok=True)
+        index_path_for(recorder.path).unlink(missing_ok=True)
+        return
+    text = report.summary() + "\n"
+    if report.bisection is not None:
+        text += report.bisection.render() + "\n"
+    verdict = recorder.path.with_name(recorder.path.name + ".bisection.txt")
+    verdict.write_text(text, encoding="utf-8")
 
 
 class TestChannelFaultPlan:
@@ -329,11 +363,50 @@ class TestConvergenceVerifier:
         schedule = ChaosSchedule.random(
             mesh, rng, events=10, forbidden=set(faults)
         )
+        recorder = _gate_recorder(f"gate_seed{seed}_drop{int(drop * 100):02d}pct")
         report = verify_convergence(
-            mesh, faults, plan, schedule, seed=seed
+            mesh, faults, plan, schedule, seed=seed, recorder=recorder
         )
+        _finish_gate_artifacts(recorder, report)
         assert report.ok, report.summary()
         assert report.outcome.stats.lost > 0
+
+
+class TestGateArtifacts:
+    """The CI hook around the chaos gate: record when asked, keep only
+    failing evidence."""
+
+    def test_disabled_without_the_env_var(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_ARTIFACTS", raising=False)
+        assert _gate_recorder("probe") is None
+        _finish_gate_artifacts(None, None)  # must tolerate the disabled case
+
+    def test_passing_run_leaves_no_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_ARTIFACTS", str(tmp_path))
+        recorder = _gate_recorder("probe")
+        assert recorder is not None
+        report = verify_convergence(Mesh2D(6, 6), faults=[(2, 2)], recorder=recorder)
+        _finish_gate_artifacts(recorder, report)
+        assert report.ok
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failing_run_keeps_log_index_and_verdict(self, tmp_path, monkeypatch):
+        import dataclasses
+
+        monkeypatch.setenv("REPRO_CHAOS_ARTIFACTS", str(tmp_path))
+        recorder = _gate_recorder("probe")
+        report = verify_convergence(Mesh2D(6, 6), faults=[(2, 2)], recorder=recorder)
+        # Fabricate a red gate: the artifacts must survive for upload.
+        failing = dataclasses.replace(report, blocks_ok=False)
+        _finish_gate_artifacts(recorder, failing)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {"probe.jsonl", "probe.jsonl.idx", "probe.jsonl.bisection.txt"}
+        verdict = (tmp_path / "probe.jsonl.bisection.txt").read_text()
+        assert "DIVERGED" in verdict
+        # The kept log is a valid, replayable recording.
+        from repro.obs import replay_recording
+
+        assert replay_recording(tmp_path / "probe.jsonl").identical
 
 
 class TestNetworkPrimitives:

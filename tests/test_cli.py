@@ -161,6 +161,137 @@ class TestChaosVerb:
         assert 'repro_hot_counter_total{name="chaos.drops"}' in output
 
 
+@pytest.fixture(scope="module")
+def recording(tmp_path_factory):
+    """One small flight-recorded chaos run shared by the replay tests."""
+    log = tmp_path_factory.mktemp("recording") / "run.jsonl"
+    code, output = _run(
+        ["chaos", "--side", "8", "--faults", "3", "--seed", "3",
+         "--loss", "0.05", "--dup", "0.02", "--events", "4",
+         "--record", str(log)]
+    )
+    assert code == 0, output
+    assert "recorded" in output and "run.jsonl.idx" in output
+    return log
+
+
+class TestReplayVerb:
+    def test_record_writes_log_and_index(self, recording):
+        assert recording.exists()
+        assert recording.with_name("run.jsonl.idx").exists()
+
+    def test_replay_is_bit_identical(self, recording):
+        code, output = _run(["replay", str(recording)])
+        assert code == 0
+        assert "REPLAY OK" in output and "streams identical" in output
+
+    def test_time_travel_snapshot(self, recording):
+        code, output = _run(["replay", str(recording), "--at", "5"])
+        assert code == 0
+        assert "t=5" in output
+        assert "faults" in output
+
+    def test_lineage_of_the_header(self, recording):
+        code, output = _run(["replay", str(recording), "--lineage", "0"])
+        assert code == 0
+        assert "run_meta" in output
+
+    def test_lineage_of_a_delivery_walks_to_its_send(self, recording):
+        from repro.obs import read_recording
+
+        delivery = next(
+            e for e in read_recording(recording) if e.kind == "msg_deliver"
+        )
+        code, output = _run(["replay", str(recording), "--lineage", str(delivery.seq)])
+        assert code == 0
+        assert "msg_send" in output and "msg_deliver" in output
+
+    def test_lineage_unknown_event(self, recording):
+        code, output = _run(["replay", str(recording), "--lineage", "9999999"])
+        assert code == 2
+        assert "not in this recording" in output
+
+    def test_print_with_kind_filter(self, recording):
+        code, output = _run(
+            ["replay", str(recording), "--print",
+             "--kind", "chaos_crash", "--kind", "chaos_revive"]
+        )
+        assert code == 0
+        body, tally = output.splitlines()[:-1], output.splitlines()[-1]
+        assert body  # the 4-event schedule applied something
+        assert all("chaos_crash" in line or "chaos_revive" in line for line in body)
+        assert " of " in tally and "events" in tally
+
+    def test_print_with_node_filter(self, recording):
+        code, unfiltered = _run(["replay", str(recording), "--print"])
+        assert code == 0
+        code, filtered = _run(["replay", str(recording), "--print", "--node", "0,0"])
+        assert code == 0
+        assert 0 < len(filtered.splitlines()) < len(unfiltered.splitlines())
+
+    def test_unknown_kind_rejected(self, recording):
+        code, output = _run(["replay", str(recording), "--print", "--kind", "banana"])
+        assert code == 2
+        assert "unknown event kind" in output
+
+    def test_missing_log(self, tmp_path):
+        code, output = _run(["replay", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "does not exist" in output
+
+    def test_bisect_against_itself(self, recording):
+        code, output = _run(["replay", str(recording), "--bisect", str(recording)])
+        assert code == 0
+        assert "identical" in output
+
+    def test_bisect_pinpoints_a_perturbed_copy(self, recording, tmp_path):
+        from repro.obs import RecorderSink, TraceEvent, read_recording
+
+        events = read_recording(recording)
+        target = next(
+            e for e in events if e.kind == "msg_deliver" and e.seq > len(events) // 2
+        )
+        tampered = TraceEvent(
+            kind=target.kind,
+            seq=target.seq,
+            data={**dict(target.data), "msg": "tampered"},
+            cause=target.cause,
+        )
+        other = tmp_path / "perturbed.jsonl"
+        sink = RecorderSink(other)
+        for event in events:
+            sink.record(tampered if event.seq == target.seq else event)
+        sink.close()
+        code, output = _run(["replay", str(recording), "--bisect", str(other)])
+        assert code == 1
+        assert f"first divergence at event {target.seq}" in output
+        assert "ancestry" in output and "index probes" in output
+
+
+class TestTraceFilters:
+    BASE = ["trace", "0,0", "7,7", "--faults", "3", "--seed", "1"]
+
+    def test_kind_filter_narrows_the_log(self):
+        code, unfiltered = _run(self.BASE)
+        assert code == 0
+        code, output = _run([*self.BASE, "--kind", "hop"])
+        assert code == 0
+        assert unfiltered.count("hop ") > 0
+        assert output.count("hop ") == unfiltered.count("hop ")
+        assert "leg:" in unfiltered and "leg:" not in output  # route_start hidden
+
+    def test_node_filter_narrows_the_log(self):
+        code, unfiltered = _run(self.BASE)
+        code, output = _run([*self.BASE, "--node", "0,0", "--node", "1,0"])
+        assert code == 0
+        assert 0 < output.count("hop ") < unfiltered.count("hop ")
+
+    def test_unknown_kind_rejected(self):
+        code, output = _run([*self.BASE, "--kind", "banana"])
+        assert code == 2
+        assert "unknown event kind" in output
+
+
 class TestProtocols:
     def test_cost_table(self):
         code, output = _run(["protocols", "--side", "16", "--faults", "10"])

@@ -27,7 +27,7 @@ from repro.obs import (
     set_tracer,
     use_tracer,
 )
-from repro.obs.tracer import _NULL_SPAN
+from repro.obs.tracer import _NULL_SPAN, NullTracer
 from repro.routing.detour import DetourRouter
 from repro.routing.router import GreedyAdaptiveRouter, RoutingError, x_first_tie_breaker
 
@@ -93,6 +93,35 @@ class TestNullTracer:
         assert previous is NULL_TRACER
         assert set_tracer(None) is tracer
         assert get_tracer() is NULL_TRACER
+
+
+class TestSpanIds:
+    def test_interleaved_spans_pair_by_span_id(self):
+        """Same-name spans overlap; span_id (not name) is what pairs them,
+        and each span_end names its own span_start as its cause."""
+        ring = RingBufferSink()
+        tracer = Tracer(ring)
+        outer, inner = tracer.span("esl.compute", n=1), tracer.span("esl.compute", n=2)
+        outer.__enter__()
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # out of order on purpose
+        inner.__exit__(None, None, None)
+        assert outer.span_id != inner.span_id
+        starts = {e.data["span_id"]: e for e in ring if e.kind == "span_start"}
+        ends = [e for e in ring if e.kind == "span_end"]
+        assert len(starts) == len(ends) == 2
+        for end in ends:
+            start = starts[end.data["span_id"]]
+            assert end.cause == start.seq
+            assert end.data["n"] == start.data["n"]
+        assert [end.data["n"] for end in ends] == [1, 2]
+
+    def test_span_ids_are_per_tracer(self):
+        a, b = Tracer(RingBufferSink()), Tracer(RingBufferSink())
+        with a.span("x") as first, b.span("x") as other:
+            assert first.span_id == other.span_id == 0
+        with a.span("x") as second:
+            assert second.span_id == 1
 
 
 class TestSinks:
@@ -179,6 +208,110 @@ class TestSinks:
         tracer.emit("detour", at=(0, 0), to=(0, 1))
         assert len(ring) == 1
         assert metrics.event_counts["detour"] == 1
+
+
+class TestJsonlRotation:
+    def test_rotates_and_bounds_the_generations(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        sink = JsonlSink(target, max_bytes=200, keep=3)
+        tracer = Tracer(sink)
+        for i in range(100):
+            tracer.emit("hop", index=i)
+        tracer.close()
+        assert sink.rotations > 3
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {"trace.jsonl", "trace.jsonl.1", "trace.jsonl.2"}
+        # Every generation is valid JSONL, .1 is newer than .2, and the
+        # newest event survived the churn.
+        survivors = []
+        for path in tmp_path.iterdir():
+            survivors.extend(e.data["index"] for e in read_jsonl(path))
+        assert max(survivors) == 99
+        gen1 = read_jsonl(tmp_path / "trace.jsonl.1")
+        gen2 = read_jsonl(tmp_path / "trace.jsonl.2")
+        assert gen1[-1].data["index"] > gen2[-1].data["index"]
+
+    def test_keep_one_truncates_in_place(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        sink = JsonlSink(target, max_bytes=120, keep=1)
+        tracer = Tracer(sink)
+        for i in range(50):
+            tracer.emit("hop", index=i)
+        tracer.close()
+        assert sink.rotations > 0
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+        assert target.stat().st_size < 10 * 120  # bounded, not appended forever
+
+    def test_rotation_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="path target"):
+            JsonlSink(io.StringIO(), max_bytes=10)
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(ValueError, match="keep"):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=10, keep=0)
+
+    def test_unbounded_sink_never_rotates(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        with JsonlSink(target) as sink:
+            tracer = Tracer(sink)
+            for i in range(200):
+                tracer.emit("hop", index=i)
+        assert sink.rotations == 0
+        assert len(read_jsonl(target)) == 200
+
+
+class _ParanoidTracer(NullTracer):
+    """A null tracer that fails the test if anything emits through it."""
+
+    def emit(self, kind, *, cause=None, **data):
+        raise AssertionError(f"uninstrumented run emitted {kind!r}: {data}")
+
+
+class TestUninstrumentedFastPath:
+    """With the null tracer installed, no protocol or router may build or
+    emit a single event (spans are legitimately unguarded; only ``emit``
+    must stay silent)."""
+
+    def test_all_six_protocols_emit_nothing(self):
+        from repro.core.pivots import recursive_center_pivots
+        from repro.faults.mcc import MCCType
+        from repro.mesh.geometry import Rect
+        from repro.simulator.protocols import (
+            run_block_formation,
+            run_boundary_distribution,
+            run_mcc_formation,
+            run_pivot_broadcast,
+            run_region_exchange,
+            run_safety_propagation,
+        )
+
+        scenario, _ = _scenario(side=10, faults=6, seed=2)
+        mesh, blocks = scenario.mesh, scenario.blocks
+        unusable = blocks.unusable
+        levels = compute_safety_levels(mesh, unusable)
+        pivots = recursive_center_pivots(Rect(0, mesh.n - 1, 0, mesh.m - 1), 2)
+        with use_tracer(_ParanoidTracer()):
+            run_block_formation(mesh, scenario.faults)
+            run_mcc_formation(mesh, scenario.faults, MCCType.TYPE_ONE)
+            run_safety_propagation(mesh, unusable)
+            run_boundary_distribution(mesh, blocks.rects(), unusable)
+            run_region_exchange(mesh, unusable, levels)
+            run_pivot_broadcast(mesh, unusable, levels, pivots)
+
+    def test_both_routers_emit_nothing(self):
+        import contextlib
+
+        mesh = Mesh2D(12, 12)
+        blocks = build_faulty_blocks(mesh, [(4, 4), (5, 5)])
+        with use_tracer(_ParanoidTracer()):
+            with contextlib.suppress(RoutingError):
+                WuRouter(mesh, blocks).route((0, 0), (9, 9))
+            with contextlib.suppress(RoutingError):
+                DetourRouter(mesh, blocks).route((0, 0), (9, 9))
+            with contextlib.suppress(RoutingError):
+                GreedyAdaptiveRouter(
+                    mesh, blocks.unusable, tie_breaker=x_first_tie_breaker
+                ).route((5, 0), (5, 8))
 
 
 class TestMetricsInvariants:
