@@ -1,0 +1,94 @@
+"""Gate: per-tick observatory sampling must cost <= 5% wall-time.
+
+Times the ``sim.formation_large`` workload body (the fast-path formation
++ ESL propagation scenario from the built-in bench registry) with and
+without an ambient :class:`~repro.obs.timeseries.Observatory` sampling
+every simulated tick, and fails when the sampled best-of exceeds the
+plain best-of by more than the tolerance.
+
+Two choices keep the gate honest on a noisy CI runner.  The variants run
+*interleaved* on one shared setup (plain, sampled, plain, sampled, ...)
+so slow machine-load drift hits both sides equally, and each side is
+scored by its *minimum* -- both variants do identical deterministic
+work, scheduler noise is strictly additive, so min-of-N estimates the
+true cost where a median of a few repeats still swings several percent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_sampling_overhead.py [--quick]
+        [--tolerance 0.05] [--repeats N]
+
+Exit codes: 0 within budget, 1 over budget, 2 bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import BenchConfig, builtin_registry
+from repro.obs import Observatory, use_observatory
+
+BASELINE = "sim.formation_large"
+SAMPLED = "obs.sampling_on"
+
+
+def _timed(run, state) -> float:
+    t0 = time.perf_counter()
+    run(state)
+    return time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke scale (smaller mesh, fewer repeats)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="max allowed relative p50 overhead (default 0.05)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed pairs per variant (default 7, quick 5)")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    repeats = args.repeats or (5 if args.quick else 7)
+
+    registry = builtin_registry()
+    baseline = registry.get(BASELINE)
+    config = BenchConfig(quick=args.quick)
+    state = baseline.setup(config)
+
+    def run_plain(state):
+        return baseline.run(state)
+
+    def run_sampled(state):
+        with use_observatory(Observatory(rules=())):
+            return baseline.run(state)
+
+    run_plain(state)  # warm-up: the first run does the real convergence
+    run_sampled(state)
+    plain: list[float] = []
+    sampled: list[float] = []
+    for _ in range(repeats):
+        plain.append(_timed(run_plain, state))
+        sampled.append(_timed(run_sampled, state))
+
+    best_plain = min(plain)
+    best_sampled = min(sampled)
+    overhead = best_sampled / best_plain - 1.0
+    print(
+        f"{BASELINE} vs {SAMPLED}: {repeats} interleaved pairs, "
+        f"best {best_plain * 1e3:.2f}ms -> {best_sampled * 1e3:.2f}ms "
+        f"({overhead:+.1%}, budget {args.tolerance:.0%})"
+    )
+    if overhead > args.tolerance:
+        print("FAIL: per-tick sampling is over budget")
+        return 1
+    print("OK: sampling overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -218,6 +218,18 @@ def builtin_registry() -> BenchRegistry:
         with use_tracer(FlightRecorder()):
             return _run_formation(state, "buckets", "fast")
 
+    @registry.register(
+        "obs.sampling_on", kind="macro", setup=sim_formation_setup,
+        description="the fast-path workload with the telemetry observatory "
+                    "sampling every tick (sampling overhead vs sim.formation_large)",
+        repeats=10, quick_repeats=3,
+    )
+    def run_obs_sampling_on(state):
+        from repro.obs import Observatory, use_observatory
+
+        with use_observatory(Observatory(rules=())):
+            return _run_formation(state, "buckets", "fast")
+
     def dynamic_setup(config):
         from repro.faults.injection import injection_sequence
         from repro.mesh.topology import Mesh2D

@@ -19,7 +19,7 @@ then compares the surviving distributed state with the batch oracles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from repro.simulator.engine import Engine
 from repro.simulator.network import MeshNetwork, NetworkStats
 from repro.simulator.protocols.dynamic_update import DynamicNode
 from repro.simulator.protocols.reliable import chaos_event_budget, stabilize_network
+
+if TYPE_CHECKING:
+    from repro.obs.timeseries import Observatory
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,7 @@ class ChaosRunner:
         scheduler: str = "buckets",
         stabilize_rounds: int = 1,
         recorder: FlightRecorder | None = None,
+        observatory: "Observatory | None" = None,
     ):
         self.mesh = mesh
         self.plan = plan
@@ -80,6 +84,7 @@ class ChaosRunner:
         self.scheduler = scheduler
         self.stabilize_rounds = stabilize_rounds
         self.recorder = recorder
+        self.observatory = observatory
         self.engine = Engine(scheduler)
 
         def factory(coord: Coord, network: MeshNetwork) -> DynamicNode:
@@ -90,6 +95,11 @@ class ChaosRunner:
             mesh, self.engine, factory, faulty=faults, latency=latency, chaos=plan,
             tracer=recorder,
         )
+        # Sampling is a pure read of deterministic sim state keyed by the
+        # sim clock, so it neither perturbs a recording nor the replay:
+        # the same observatory attached to a rebuilt runner yields
+        # bit-identical series.
+        self.network.observatory = observatory
         self.crashed: list[Coord] = []
         self.revived: list[Coord] = []
         self.skipped: list[ChaosEvent] = []

@@ -28,8 +28,10 @@ from repro.chaos.runner import ChaosOutcome, ChaosRunner
 from repro.chaos.schedule import ChaosSchedule
 
 if TYPE_CHECKING:
+    from repro.obs.alerts import Alert
     from repro.obs.recorder import FlightRecorder
     from repro.obs.replay import DivergenceReport
+    from repro.obs.timeseries import Observatory
 from repro.core.batched import batch_is_safe
 from repro.core.safety import compute_safety_levels
 from repro.faults.blocks import build_faulty_blocks
@@ -60,6 +62,11 @@ class ConvergenceReport:
     #: divergent event.  An identical replay means the divergence is a
     #: genuine protocol/oracle disagreement, not nondeterminism.
     bisection: "DivergenceReport | None" = field(default=None, repr=False)
+    #: Alert-rule firings observed while the run drained (only when an
+    #: observatory was attached).  Informational: a firing does not flip
+    #: ``ok`` -- a run can stall mid-chaos and still re-converge -- but a
+    #: red gate's report now says *when* the run went sideways.
+    alerts: "tuple[Alert, ...]" = ()
 
     @property
     def ok(self) -> bool:
@@ -74,6 +81,9 @@ class ConvergenceReport:
             f" over {self.pairs_checked} pairs",
         ]
         text = "; ".join(parts) + f"; {self.outcome.summary()}"
+        if self.alerts:
+            fired = ", ".join(sorted({alert.rule for alert in self.alerts}))
+            text += f"; {len(self.alerts)} alert(s) fired: {fired}"
         if self.bisection is not None:
             text += f"; record/replay bisection: {self.bisection.summary()}"
         return text
@@ -91,6 +101,7 @@ def verify_convergence(
     sample_pairs: int = 32,
     seed: int = 0,
     recorder: "FlightRecorder | None" = None,
+    observatory: "Observatory | None" = None,
 ) -> ConvergenceReport:
     """Run chaos, stabilize, and prove the distributed state re-converged.
 
@@ -103,6 +114,10 @@ def verify_convergence(
     itself and the verdict is attached as ``report.bisection`` -- so a
     red chaos gate ships the exact first divergent event (or proof the
     run was deterministic) along with the state diff.
+
+    Passing an ``observatory`` samples the run per tick (series stay on
+    ``observatory.store``) and lands any alert-rule firings on
+    ``report.alerts``.
     """
     runner = ChaosRunner(
         mesh,
@@ -113,6 +128,7 @@ def verify_convergence(
         scheduler=scheduler,
         stabilize_rounds=stabilize_rounds,
         recorder=recorder,
+        observatory=observatory,
     )
     outcome = runner.run()
 
@@ -195,4 +211,5 @@ def verify_convergence(
         pairs_checked=pairs_checked,
         outcome=outcome,
         bisection=bisection,
+        alerts=() if observatory is None else tuple(observatory.alerts.firings),
     )

@@ -19,8 +19,20 @@ Subcommands cover the library's workflows:
   event streams; ``--at`` time-travels to any tick, ``--lineage`` prints
   an event's causal ancestry, ``--bisect`` finds the first divergent
   event between two logs;
+- ``top``       the same chaos workload under a live ANSI dashboard:
+  per-tick sparklines of queue depth and channel counters with an alert
+  banner (``--once`` prints a single final frame for scripts);
+- ``serve-metrics``  run the chaos workload with a live HTTP exporter:
+  ``/metrics`` (Prometheus text), ``/series.json``, ``/healthz``;
+  ``--linger`` keeps serving after the run so scrapers can poll,
+  ``--push``/``--series-out`` atomically write the final state to files;
 - ``bench``     run the benchmark registry, write ``BENCH_<n>.json`` at the
   repo root, and optionally gate against a baseline (``--compare``).
+
+Exit codes follow one convention everywhere: 0 success, 1 the run itself
+went wrong (divergence, routing failure, ``--fail-on-alerts`` firing, an
+output file that cannot be written), 2 bad usage (invalid arguments,
+missing inputs).
 """
 
 from __future__ import annotations
@@ -112,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the snapshot in Prometheus text exposition format",
     )
     stats.add_argument(
+        "--out", type=pathlib.Path, metavar="PATH",
+        help="with --prom: atomically write the exposition to PATH instead "
+        "of stdout (exit 2 without --prom, exit 1 if PATH is unwritable)",
+    )
+    stats.add_argument(
         "--profile", action="store_true",
         help="profile the run (hot-path counters + per-section cProfile)",
     )
@@ -128,30 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="chaos-test the hardened protocols and verify convergence"
     )
     _common_scenario_args(chaos)
-    chaos.add_argument(
-        "--loss", type=float, default=0.05, help="per-hop drop probability (default 0.05)"
-    )
-    chaos.add_argument(
-        "--dup", type=float, default=0.0, help="per-hop duplication probability"
-    )
-    chaos.add_argument(
-        "--corrupt", type=float, default=0.0, help="per-hop corruption probability"
-    )
-    chaos.add_argument(
-        "--jitter", type=int, default=0, help="max extra delivery latency in ticks"
-    )
-    chaos.add_argument(
-        "--chaos-seed", type=int, default=0,
-        help="seed for the channel fault plan (default 0)",
-    )
-    chaos.add_argument(
-        "--events", type=int, default=10,
-        help="crash/revive events in the schedule (default 10; 0 disables)",
-    )
-    chaos.add_argument(
-        "--pulses", type=int, default=2,
-        help="stabilization pulses after the schedule (default 2)",
-    )
+    _chaos_workload_args(chaos)
     chaos.add_argument(
         "--record", type=pathlib.Path, metavar="LOG",
         help="flight-record the run to this JSONL log (plus a seekable "
@@ -188,6 +182,63 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--node", type=_parse_coord, action="append", metavar="X,Y",
         help="with --print: only show events touching this node (repeatable)",
+    )
+
+    top = sub.add_parser(
+        "top", help="chaos workload under a live ANSI dashboard (sparklines + alerts)"
+    )
+    _common_scenario_args(top)
+    _chaos_workload_args(top)
+    top.add_argument(
+        "--refresh", type=int, default=16,
+        help="redraw every N sampled ticks (default 16)",
+    )
+    top.add_argument(
+        "--delay", type=float, default=0.0, metavar="SECONDS",
+        help="sleep after each redraw so the live view is watchable "
+        "(default 0: run at full speed)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single final frame instead of live redraws",
+    )
+    top.add_argument(
+        "--no-color", action="store_true",
+        help="plain text: no ANSI colors or cursor control",
+    )
+    top.add_argument(
+        "--width", type=int, default=48, help="sparkline width (default 48)"
+    )
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="run the chaos workload behind a live /metrics scrape endpoint",
+    )
+    _common_scenario_args(serve)
+    _chaos_workload_args(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="port to serve on (default 0: pick a free ephemeral port)",
+    )
+    serve.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep serving this long after the run completes so scrapers "
+        "can poll the final state (default 0)",
+    )
+    serve.add_argument(
+        "--push", type=pathlib.Path, metavar="PATH",
+        help="atomically write the final /metrics exposition to PATH",
+    )
+    serve.add_argument(
+        "--series-out", type=pathlib.Path, metavar="PATH",
+        help="atomically write the final /series.json body to PATH",
+    )
+    serve.add_argument(
+        "--fail-on-alerts", action="store_true",
+        help="exit 1 if any alert rule fired during the run",
     )
 
     bench = sub.add_parser(
@@ -243,6 +294,34 @@ def _common_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--side", type=int, default=24, help="mesh side (default 24)")
     parser.add_argument("--faults", type=int, default=20, help="fault count (default 20)")
     parser.add_argument("--seed", type=int, default=7, help="RNG seed (default 7)")
+
+
+def _chaos_workload_args(parser: argparse.ArgumentParser) -> None:
+    """The knobs shared by every verb that drives a chaos run."""
+    parser.add_argument(
+        "--loss", type=float, default=0.05, help="per-hop drop probability (default 0.05)"
+    )
+    parser.add_argument(
+        "--dup", type=float, default=0.0, help="per-hop duplication probability"
+    )
+    parser.add_argument(
+        "--corrupt", type=float, default=0.0, help="per-hop corruption probability"
+    )
+    parser.add_argument(
+        "--jitter", type=int, default=0, help="max extra delivery latency in ticks"
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the channel fault plan (default 0)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=10,
+        help="crash/revive events in the schedule (default 10; 0 disables)",
+    )
+    parser.add_argument(
+        "--pulses", type=int, default=2,
+        help="stabilization pulses after the schedule (default 2)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -592,6 +671,9 @@ def _cmd_stats(args, out: Callable[[str], None]) -> int:
         run_safety_propagation,
     )
 
+    if args.out is not None and not args.prom:
+        out("error: --out only applies to the Prometheus exposition; add --prom")
+        return 2
     scenario, rng = _build_scenario(args)
     mesh, blocks = scenario.mesh, scenario.blocks
     blocked = blocks.unusable
@@ -643,7 +725,18 @@ def _cmd_stats(args, out: Callable[[str], None]) -> int:
 
     profile = profiler.snapshot() if profiler.enabled else None
     if args.prom:
-        out(metrics.to_prometheus(profile=profile).rstrip("\n"))
+        text = metrics.to_prometheus(profile=profile)
+        if args.out is not None:
+            from repro.obs import atomic_write_text
+
+            try:
+                atomic_write_text(args.out, text)
+            except OSError as error:
+                out(f"error: cannot write {args.out}: {error}")
+                return 1
+            out(f"wrote {args.out}")
+        else:
+            out(text.rstrip("\n"))
     elif args.json:
         snapshot = metrics.snapshot()
         if profile is not None:
@@ -720,15 +813,17 @@ def _cmd_bench(args, out: Callable[[str], None]) -> int:
     return 0
 
 
-def _cmd_chaos(args, out: Callable[[str], None]) -> int:
-    from repro.chaos import ChannelFaultPlan, ChaosSchedule, verify_convergence
+def _chaos_ingredients(args, out: Callable[[str], None]):
+    """(mesh, faults, plan, schedule) for a chaos-style verb, or None on
+    invalid arguments (the caller returns exit code 2)."""
+    from repro.chaos import ChannelFaultPlan, ChaosSchedule
     from repro.faults.injection import uniform_faults
     from repro.mesh.topology import Mesh2D
 
     for name, value in (("loss", args.loss), ("dup", args.dup), ("corrupt", args.corrupt)):
         if not 0.0 <= value <= 1.0:
             out(f"error: --{name} must be a probability in [0, 1], got {value}")
-            return 2
+            return None
     mesh = Mesh2D(args.side, args.side)
     rng = np.random.default_rng(args.seed)
     faults = uniform_faults(mesh, args.faults, rng)
@@ -745,6 +840,16 @@ def _cmd_chaos(args, out: Callable[[str], None]) -> int:
         f"{mesh}: {len(faults)} initial faults; plan: {plan.describe()}; "
         f"schedule: {args.events} events; {args.pulses} stabilization pulse(s)"
     )
+    return mesh, faults, plan, schedule
+
+
+def _cmd_chaos(args, out: Callable[[str], None]) -> int:
+    from repro.chaos import verify_convergence
+
+    ingredients = _chaos_ingredients(args, out)
+    if ingredients is None:
+        return 2
+    mesh, faults, plan, schedule = ingredients
     recorder = None
     if args.record is not None:
         from repro.obs import FlightRecorder
@@ -776,6 +881,108 @@ def _cmd_chaos(args, out: Callable[[str], None]) -> int:
             out(report.bisection.render())
         return 1
     return 0
+
+
+def _cmd_top(args, out: Callable[[str], None]) -> int:
+    import time
+
+    from repro.chaos import verify_convergence
+    from repro.obs import Dashboard, Observatory
+
+    if args.refresh < 1:
+        out(f"error: --refresh must be >= 1, got {args.refresh}")
+        return 2
+    if args.width < 1:
+        out(f"error: --width must be >= 1, got {args.width}")
+        return 2
+    if args.delay < 0:
+        out(f"error: --delay must be >= 0, got {args.delay}")
+        return 2
+    ingredients = _chaos_ingredients(args, out)
+    if ingredients is None:
+        return 2
+    mesh, faults, plan, schedule = ingredients
+
+    observatory = Observatory()
+    dashboard = Dashboard(observatory, width=args.width, color=not args.no_color)
+    if not args.once:
+        samples = [0]
+
+        def redraw(tick: float) -> None:
+            samples[0] += 1
+            if samples[0] % args.refresh:
+                return
+            out(dashboard.frame())
+            if args.delay > 0:
+                time.sleep(args.delay)
+
+        observatory.on_sample = redraw
+
+    report = verify_convergence(
+        mesh, faults, plan, schedule,
+        stabilize_rounds=args.pulses, seed=args.chaos_seed,
+        observatory=observatory,
+    )
+    out(dashboard.frame())
+    out(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_serve_metrics(args, out: Callable[[str], None]) -> int:
+    import time
+
+    from repro.chaos import verify_convergence
+    from repro.obs import MetricsServer, MetricsSink, Observatory, Tracer, use_tracer
+
+    if args.linger < 0:
+        out(f"error: --linger must be >= 0, got {args.linger}")
+        return 2
+    ingredients = _chaos_ingredients(args, out)
+    if ingredients is None:
+        return 2
+    mesh, faults, plan, schedule = ingredients
+
+    # The metrics sink doubles as a tracer sink (protocol message
+    # families on /metrics) and the sampler's per-kind message source.
+    metrics = MetricsSink()
+    observatory = Observatory(metrics=metrics)
+    tracer = Tracer(metrics)
+    status = 0
+    try:
+        with MetricsServer(
+            observatory=observatory, metrics=metrics,
+            host=args.host, port=args.port,
+        ) as server:
+            out(f"serving {server.url('/metrics')} (also /series.json, /healthz)")
+            try:
+                with use_tracer(tracer):
+                    report = verify_convergence(
+                        mesh, faults, plan, schedule,
+                        stabilize_rounds=args.pulses, seed=args.chaos_seed,
+                        observatory=observatory,
+                    )
+            finally:
+                tracer.close()
+            out(report.summary())
+            if not report.ok:
+                status = 1
+            if args.fail_on_alerts and report.alerts:
+                fired = ", ".join(sorted({alert.rule for alert in report.alerts}))
+                out(f"FAIL: {len(report.alerts)} alert(s) fired: {fired}")
+                status = 1
+            if args.linger > 0:
+                out(f"lingering {args.linger:g}s for scrapers")
+                time.sleep(args.linger)
+            if args.push is not None:
+                server.write_metrics(args.push)
+                out(f"wrote {args.push}")
+            if args.series_out is not None:
+                server.write_series(args.series_out)
+                out(f"wrote {args.series_out}")
+    except OSError as error:
+        out(f"error: {error}")
+        return 1
+    return status
 
 
 def _cmd_replay(args, out: Callable[[str], None]) -> int:
@@ -918,6 +1125,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "chaos": _cmd_chaos,
     "replay": _cmd_replay,
+    "top": _cmd_top,
+    "serve-metrics": _cmd_serve_metrics,
     "bench": _cmd_bench,
     "protocols": _cmd_protocols,
     "memory": _cmd_memory,

@@ -43,8 +43,40 @@ replayable, seekable log -- ``repro replay`` re-executes it and asserts
 bit-identical event streams, ``--at`` time-travels, ``--lineage`` walks
 ancestry, and ``--bisect`` binary-searches two logs to their first
 divergent event.
+
+The live-telemetry observatory turns all of this from post-mortem into
+realtime (``repro top`` / ``repro serve-metrics``):
+
+- :mod:`repro.obs.timeseries` -- a ring-buffer TSDB fed by a per-tick
+  engine hook (:class:`TimeSeries`, :class:`SampleStore`,
+  :class:`Observatory`); samples are keyed by the simulated clock, so a
+  flight-recorded run replays to bit-identical series;
+- :mod:`repro.obs.alerts` -- threshold / rate / ratio / stall rules
+  evaluated per tick (convergence stall, retransmit storm, queue
+  runaway, drop-rate SLO), latched into :class:`Alert` firings that land
+  in chaos reports;
+- :mod:`repro.obs.server` -- a background-thread HTTP exporter
+  (``/metrics``, ``/series.json``, ``/healthz``) plus atomic
+  push-to-file for headless CI;
+- :mod:`repro.obs.dashboard` -- the ANSI sparkline panel behind
+  ``repro top``.
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    RateRule,
+    RatioRule,
+    StallRule,
+    ThresholdRule,
+    convergence_stall,
+    default_rules,
+    drop_rate_slo,
+    queue_runaway,
+    retransmit_storm,
+)
+from repro.obs.dashboard import Dashboard, sparkline
 from repro.obs.events import EVENT_KINDS, TraceEvent, jsonable
 from repro.obs.metrics import Histogram, MetricsSink
 from repro.obs.recorder import (
@@ -75,13 +107,24 @@ from repro.obs.prof import (
     set_profiler,
     use_profiler,
 )
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import render_prometheus, render_timeseries
+from repro.obs.server import MetricsServer, atomic_write_text
 from repro.obs.sinks import (
     JsonlDecodeError,
     JsonlSink,
     RingBufferSink,
     Sink,
     read_jsonl,
+)
+from repro.obs.timeseries import (
+    SAMPLER_SERIES,
+    Observatory,
+    SampleStore,
+    TickSampler,
+    TimeSeries,
+    get_observatory,
+    set_observatory,
+    use_observatory,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -93,42 +136,67 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
-    "EVENT_KINDS",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "Dashboard",
     "DivergenceReport",
+    "EVENT_KINDS",
     "FlightRecorder",
     "Histogram",
     "JsonlDecodeError",
     "JsonlSink",
+    "MetricsServer",
     "MetricsSink",
     "NULL_PROFILER",
     "NULL_TRACER",
     "NullProfiler",
     "NullTracer",
+    "Observatory",
     "Profiler",
+    "RateRule",
+    "RatioRule",
     "RecorderSink",
     "ReplayResult",
     "RingBufferSink",
+    "SAMPLER_SERIES",
+    "SampleStore",
     "Sink",
+    "StallRule",
     "StateSnapshot",
+    "ThresholdRule",
+    "TickSampler",
+    "TimeSeries",
     "TraceEvent",
     "Tracer",
     "ancestry",
+    "atomic_write_text",
     "bisect_logs",
     "bisect_streams",
     "canonical",
+    "convergence_stall",
+    "default_rules",
+    "drop_rate_slo",
+    "get_observatory",
     "get_profiler",
     "get_tracer",
     "jsonable",
     "lineage_of",
+    "queue_runaway",
     "read_index",
     "read_jsonl",
     "read_recording",
     "render_lineage",
     "render_prometheus",
+    "render_timeseries",
     "replay_events",
     "replay_recording",
+    "retransmit_storm",
+    "set_observatory",
     "set_profiler",
     "set_tracer",
+    "sparkline",
+    "use_observatory",
     "use_profiler",
     "use_tracer",
 ]

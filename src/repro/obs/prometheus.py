@@ -26,12 +26,26 @@ metric                                source
 ``repro_engine_events_processed_total``     engine lifetime counter
 ``repro_hot_counter_total{name=}``    profiler hot-path counters
 ``repro_profile_section_seconds{section=}`` summary per profiled section
+``repro_live_sample{series=}``        gauge; latest per-tick sample
+``repro_live_points{series=}``        gauge; retained ring-buffer points
+``repro_live_tick``                   gauge; newest sampled sim tick
+``repro_alert_active{rule=}``         gauge; 1 while the rule breaches
+``repro_alerts_fired_total{rule=}``   counter; excursions per alert rule
 ====================================  =======================================
+
+The ``live``/``alert`` families come from :func:`render_timeseries` (a
+:class:`~repro.obs.timeseries.SampleStore` plus optional
+:class:`~repro.obs.alerts.AlertEngine`); the metrics server concatenates
+them after the snapshot families on every ``/metrics`` scrape.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.alerts import AlertEngine
+    from repro.obs.timeseries import SampleStore
 
 #: The quantile labels exported for every summary, mapped to the summary
 #: keys produced by :meth:`repro.obs.metrics.Histogram.summary`.
@@ -85,16 +99,26 @@ class _Writer:
         labels: dict[str, str] | None = None,
         scale: float = 1.0,
     ) -> None:
-        """One label-set of a summary metric (header emitted separately)."""
-        for quantile, key in _QUANTILES:
-            value = summary.get(key)
-            if value is None:
-                continue
-            quantile_labels = dict(labels or {})
-            quantile_labels["quantile"] = quantile
-            self.lines.append(_series(name, quantile_labels, value * scale))
-        self.lines.append(_series(f"{name}_sum", labels, summary.get("total", 0.0) * scale))
-        self.lines.append(_series(f"{name}_count", labels, summary.get("count", 0)))
+        """One label-set of a summary metric (header emitted separately).
+
+        A sample-free summary -- ``count`` 0 or missing, which external
+        snapshots may pair with ``null`` *or stale numbers* in the
+        quantile keys -- emits only a zero ``_sum``/``_count`` pair: a
+        quantile of an empty population has no value, and fabricating one
+        (``Histogram.percentile`` returns None) poisons dashboards.
+        """
+        count = summary.get("count") or 0
+        if count:
+            for quantile, key in _QUANTILES:
+                value = summary.get(key)
+                if value is None:
+                    continue
+                quantile_labels = dict(labels or {})
+                quantile_labels["quantile"] = quantile
+                self.lines.append(_series(name, quantile_labels, value * scale))
+        total = summary.get("total") or 0.0
+        self.lines.append(_series(f"{name}_sum", labels, total * scale))
+        self.lines.append(_series(f"{name}_count", labels, count))
 
 
 def render_prometheus(
@@ -183,4 +207,46 @@ def render_prometheus(
             for section, summary in sorted(sections.items()):
                 w.summary(name, summary, labels={"section": section}, scale=1e-9)
 
+    return "\n".join(w.lines) + "\n"
+
+
+def render_timeseries(
+    store: "SampleStore",
+    alerts: "AlertEngine | None" = None,
+    prefix: str = "repro",
+) -> str:
+    """Render live per-tick series (and alert state) as Prometheus text.
+
+    One ``{series=...}`` labelled gauge sample per named series keeps the
+    dotted series names (``net.carried``) out of the metric name, where
+    Prometheus forbids them.
+    """
+    w = _Writer()
+    last = store.last_row()
+    if last:
+        name = f"{prefix}_live_sample"
+        w.header(name, "gauge", "Latest per-tick sample of each live series.")
+        for series, value in last.items():
+            w.lines.append(_series(name, {"series": series}, value))
+        name = f"{prefix}_live_points"
+        w.header(name, "gauge", "Ring-buffer points retained per live series.")
+        for series in store.names():
+            ts = store.get(series)
+            w.lines.append(_series(name, {"series": series}, 0 if ts is None else len(ts)))
+    tick = store.last_tick()
+    if tick is not None:
+        w.single(f"{prefix}_live_tick", "gauge", "Newest sampled simulated tick.", tick)
+    if alerts is not None and alerts.rules:
+        active = set(alerts.active)
+        name = f"{prefix}_alert_active"
+        w.header(name, "gauge", "1 while the alert rule is breaching, else 0.")
+        for rule in sorted(r.name for r in alerts.rules):
+            w.lines.append(_series(name, {"rule": rule}, rule in active))
+        w.counter_family(
+            f"{prefix}_alerts_fired_total",
+            "Alert excursions (distinct firings) per rule.",
+            "rule", alerts.counts(),
+        )
+    if not w.lines:
+        return ""
     return "\n".join(w.lines) + "\n"

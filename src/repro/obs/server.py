@@ -1,0 +1,207 @@
+"""Live telemetry over HTTP: ``/metrics``, ``/series.json``, ``/healthz``.
+
+:class:`MetricsServer` wraps a stdlib :class:`ThreadingHTTPServer` on a
+daemon thread, so a running simulation (the chaos runner, ``repro
+serve-metrics``, or any protocol run) can be scraped while it drains:
+
+- ``GET /metrics`` -- Prometheus text 0.0.4: the attached
+  :class:`~repro.obs.metrics.MetricsSink` snapshot (plus profiler
+  sections) followed by the live per-tick series and alert state.
+- ``GET /series.json`` -- the full ring-buffer contents of every series
+  plus alert firings, JSON.
+- ``GET /healthz`` -- ``{"status": "ok"}`` with 200, or
+  ``{"status": "alerting", ...}`` with 503 while any alert rule is
+  breaching, so a poller (or CI) turns alert regressions into failures.
+
+Scrapes read shared state only through :class:`SampleStore`'s lock and
+the GIL-atomic counter reads of ``MetricsSink.snapshot``, so the
+simulation thread never blocks on a scrape.
+
+For headless CI there is a push-to-file mode: :meth:`write_metrics` /
+:meth:`write_series` (and the module-level :func:`atomic_write_text`)
+publish via a same-directory temp file and ``os.replace``, so a reader
+never observes a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.prometheus import render_prometheus, render_timeseries
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsSink
+    from repro.obs.prof import Profiler
+    from repro.obs.timeseries import Observatory
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the final rename
+    never crosses a filesystem boundary; parent directories are created.
+    """
+    target = os.path.abspath(os.fspath(path))
+    directory = os.path.dirname(target)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".write")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class MetricsServer:
+    """Serves live telemetry from an observatory and/or metrics sink.
+
+    ``port=0`` (the default) binds an ephemeral port; read ``.port``
+    after construction.  Use as a context manager or call
+    :meth:`start`/:meth:`stop` -- the serving thread is a daemon either
+    way, so a crashed simulation never hangs on exit.
+    """
+
+    def __init__(
+        self,
+        observatory: "Observatory | None" = None,
+        metrics: "MetricsSink | None" = None,
+        profiler: "Profiler | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.observatory = observatory
+        self.metrics = metrics
+        self.profiler = profiler
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                exporter._handle(self)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes are routine; keep stderr clean
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Payloads (also the push-to-file bodies)
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        """The ``/metrics`` body: snapshot families, then live series."""
+        parts = []
+        if self.metrics is not None:
+            profile = self.profiler.snapshot() if self.profiler is not None else None
+            parts.append(render_prometheus(self.metrics.snapshot(), profile=profile))
+        if self.observatory is not None:
+            parts.append(
+                render_timeseries(self.observatory.store, self.observatory.alerts)
+            )
+        return "".join(parts) or "# no telemetry sources attached\n"
+
+    def series_json(self) -> dict[str, Any]:
+        """The ``/series.json`` body: every ring buffer plus alert state."""
+        if self.observatory is None:
+            return {"series": {}, "alerts": [], "firing": []}
+        payload = self.observatory.store.snapshot()
+        payload["alerts"] = [a.jsonable() for a in self.observatory.alerts.firings]
+        payload["firing"] = list(self.observatory.alerts.active)
+        return payload
+
+    def healthz(self) -> tuple[int, dict[str, Any]]:
+        """(status code, body) for ``/healthz``: 503 while alerting."""
+        if self.observatory is None:
+            return 200, {"status": "ok", "alerts": [], "firing": []}
+        body = self.observatory.healthz()
+        return (503 if body["status"] == "alerting" else 200), body
+
+    def write_metrics(self, path: str) -> None:
+        """Push mode: publish the ``/metrics`` body atomically to a file."""
+        atomic_write_text(path, self.render_metrics())
+
+    def write_series(self, path: str) -> None:
+        """Push mode: publish the ``/series.json`` body atomically."""
+        atomic_write_text(
+            path, json.dumps(self.series_json(), indent=2, sort_keys=True) + "\n"
+        )
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._respond(
+                request, 200, self.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/series.json":
+            body = json.dumps(self.series_json(), sort_keys=True)
+            self._respond(request, 200, body, "application/json")
+        elif path == "/healthz":
+            code, payload = self.healthz()
+            self._respond(request, code, json.dumps(payload, sort_keys=True),
+                          "application/json")
+        else:
+            self._respond(
+                request, 404,
+                json.dumps({"error": f"unknown path {path!r}",
+                            "paths": ["/metrics", "/series.json", "/healthz"]}),
+                "application/json",
+            )
+
+    @staticmethod
+    def _respond(
+        request: BaseHTTPRequestHandler, code: int, body: str, content_type: str
+    ) -> None:
+        payload = body.encode("utf-8")
+        request.send_response(code)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(payload)))
+        request.end_headers()
+        request.wfile.write(payload)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is not None:
+            raise RuntimeError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-metrics-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            self._httpd.server_close()
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -123,7 +123,36 @@ class ChannelView(Channel):
         self.engine.schedule(self.latency, self.deliver, self.dst, annotated)
 
     def take_down(self) -> None:
-        self._network.channel_up[self._x, self._y, self._di] = False
+        # Route through the network so its running up-link count stays true.
+        self._network.take_down_channel(self.src, self.direction)
+
+
+def link_totals(network: "MeshNetwork") -> dict[str, int]:
+    """Whole-network link accounting, delivery-mode agnostic.
+
+    The per-tick sampler (:mod:`repro.obs.timeseries`) reads this once per
+    simulated tick.  On the fast path everything -- including the up-link
+    population count -- is an O(1) running total; on the legacy path the
+    carried/dropped/up numbers live only in the per-channel objects, so it
+    falls back to the seed's O(n*m) scan.
+    """
+    if network.delivery == "legacy":
+        channels = network.channels.values()
+        carried = sum(c.messages_carried for c in channels)
+        dropped = sum(c.messages_dropped for c in channels)
+        links_up = sum(1 for c in channels if c.up)
+    else:
+        carried = network.messages_carried_total
+        dropped = network.messages_dropped_total
+        links_up = network.channels_up_total
+    return {
+        "links_up": links_up,
+        "carried": carried,
+        "dropped": dropped,
+        "lost": network.messages_lost_total,
+        "duplicated": network.messages_duplicated_total,
+        "retried": network.messages_retried_total,
+    }
 
 
 class ChannelMap(Mapping):

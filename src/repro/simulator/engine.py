@@ -111,7 +111,10 @@ class _BucketScheduler:
 class Engine:
     """Time-ordered callback executor."""
 
-    __slots__ = ("now", "events_processed", "scheduler", "_impl")
+    __slots__ = (
+        "now", "events_processed", "scheduler", "_impl",
+        "_tick_hook", "_tick_interval", "_next_tick",
+    )
 
     def __init__(self, scheduler: str = "buckets") -> None:
         if scheduler not in SCHEDULERS:
@@ -120,6 +123,36 @@ class Engine:
         self.events_processed: int = 0
         self.scheduler = scheduler
         self._impl = _BucketScheduler() if scheduler == "buckets" else _HeapScheduler()
+        self._tick_hook: Callable[[float], None] | None = None
+        self._tick_interval: float = 1.0
+        self._next_tick: float = 0.0
+
+    def set_tick_hook(
+        self, hook: Callable[[float], None] | None, interval: float = 1.0
+    ) -> None:
+        """Install (or clear, with None) a per-tick sampling hook.
+
+        While a hook is installed, :meth:`run` calls ``hook(tick)`` once
+        for every multiple of ``interval`` the simulated clock crosses,
+        *before* executing the first event at-or-past that boundary, plus
+        once at the end of each drain (same tick as the last event, so
+        ring-buffer stores that replace equal-tick samples see the final
+        state).  Tick values depend only on the event sequence, never on
+        wall clock, so a recorded run and its replay produce identical
+        hook calls.
+
+        The unhooked ``run`` paths are untouched -- clearing the hook
+        restores the exact pre-existing loops -- and the hooked loop pays
+        one float compare per event.  A boundary sample observes the
+        queue *after* the triggering event was dequeued (``pending``
+        excludes the event being dispatched).  :meth:`step` never fires
+        the hook.
+        """
+        if hook is not None and not interval > 0:
+            raise ValueError(f"tick interval must be positive (got {interval})")
+        self._tick_hook = hook
+        self._tick_interval = float(interval)
+        self._next_tick = self.now
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated time units."""
@@ -160,6 +193,8 @@ class Engine:
         it, so the lifetime total and the per-run count can never drift
         apart.
         """
+        if self._tick_hook is not None:
+            return self._run_hooked(until, max_events)
         start = self.events_processed
         impl = self._impl
         if until is None and max_events is None:
@@ -200,6 +235,57 @@ class Engine:
                 callback(*args)
             if self.now < until:
                 self.now = until
+        return self.events_processed - start
+
+    def _run_hooked(self, until: float | None, max_events: int | None) -> int:
+        """The :meth:`run` drain with the tick hook live (see
+        :meth:`set_tick_hook` for the boundary semantics).  One loop covers
+        all three argument shapes; the per-event cost over the plain loops
+        is a single ``time >= next_tick`` compare against a local."""
+        start = self.events_processed
+        impl = self._impl
+        hook = self._tick_hook
+        interval = self._tick_interval
+        nt = self._next_tick
+        horizon = None
+        if until is not None:
+            horizon = until + 4096.0 * math.ulp(max(1.0, abs(until)))
+        limit = None if max_events is None else start + max_events
+        try:
+            while len(impl):
+                if horizon is not None and impl.peek_time() > horizon:
+                    break
+                if limit is not None and self.events_processed >= limit:
+                    raise RuntimeError(
+                        f"event budget of {max_events} exhausted at t={self.now} "
+                        f"({self.pending} events pending)"
+                    )
+                time, callback, args = impl.pop()
+                if time >= nt:
+                    while nt <= time:
+                        hook(nt)
+                        nt += interval
+                self.now = time
+                self.events_processed += 1
+                callback(*args)
+            if until is not None and self.now < until:
+                self.now = until
+            if self.events_processed > start:
+                # Trailing idle boundaries (an ``until`` horizon past the
+                # last event), then a terminal sample of the post-drain
+                # state.  Skip the terminal call only when one of *these*
+                # idle boundaries already landed exactly on ``now`` -- a
+                # boundary fired pop-side before the final event sampled
+                # pre-event state and must not suppress it.
+                sampled_now = False
+                while nt <= self.now:
+                    hook(nt)
+                    sampled_now = nt == self.now
+                    nt += interval
+                if not sampled_now:
+                    hook(self.now)
+        finally:
+            self._next_tick = nt
         return self.events_processed - start
 
     def metrics_snapshot(self) -> dict[str, float | int]:

@@ -19,6 +19,7 @@ from repro.mesh.geometry import Coord, Direction
 from repro.mesh.topology import Mesh2D
 from repro.obs import Tracer, get_tracer
 from repro.obs.prof import get_profiler
+from repro.obs.timeseries import get_observatory
 from repro.simulator.channels import Channel, ChannelMap, ChannelView
 from repro.simulator.engine import Engine
 from repro.simulator.messages import Message
@@ -124,6 +125,12 @@ class MeshNetwork:
         self.tracer = tracer
         self.delivery = delivery
         self.chaos = chaos
+        #: Live-telemetry hookup: when set (directly, or ambiently via
+        #: :func:`repro.obs.timeseries.use_observatory`), :meth:`run`
+        #: binds it to this network and installs the engine tick hook.
+        #: None (the default) leaves the engine's unhooked fast path
+        #: untouched.
+        self.observatory = None
         #: Bumped on every membership change that invalidates in-flight
         #: traffic (node revival, stabilization pulse).  Hardened
         #: processes stamp their envelopes with the epoch at send time
@@ -154,6 +161,11 @@ class MeshNetwork:
             up[:, 1:, _DIR_INDEX[Direction.SOUTH]] = healthy[:, 1:] & healthy[:, :-1]
             up[:, :-1, _DIR_INDEX[Direction.NORTH]] = healthy[:, :-1] & healthy[:, 1:]
         self.channel_up = up
+        #: Running population count of ``channel_up`` (kept by
+        #: :meth:`take_down_channel` / :meth:`bring_up_channel`, the only
+        #: mutation points), so the per-tick sampler never pays a
+        #: whole-array reduction.
+        self.channels_up_total = int(up.sum())
         self.channel_carried = np.zeros((n, m, 4), dtype=np.int64)
         self.channel_dropped = np.zeros((n, m, 4), dtype=np.int64)
         #: Chaos accounting per directed link: messages a *live* channel
@@ -212,7 +224,10 @@ class MeshNetwork:
     def take_down_channel(self, src: Coord, direction: Direction) -> None:
         """Mark one directed link down (messages to it are dropped)."""
         x, y = src
-        self.channel_up[x, y, _DIR_INDEX[direction]] = False
+        di = _DIR_INDEX[direction]
+        if self.channel_up[x, y, di]:
+            self.channel_up[x, y, di] = False
+            self.channels_up_total -= 1
         if self.delivery == "legacy":
             channel = self.channels.get((src, direction))
             if channel is not None:
@@ -224,7 +239,10 @@ class MeshNetwork:
         if not self.mesh.in_bounds(dst):
             return
         x, y = src
-        self.channel_up[x, y, _DIR_INDEX[direction]] = True
+        di = _DIR_INDEX[direction]
+        if not self.channel_up[x, y, di]:
+            self.channel_up[x, y, di] = True
+            self.channels_up_total += 1
         if self.delivery == "legacy":
             channel = self.channels.get((src, direction))
             if channel is not None:
@@ -286,6 +304,7 @@ class MeshNetwork:
         self._prof = prof
         self._prof_on = prof.enabled
         self._chaos_on = self.chaos is not None and self.chaos.active
+        self._obs = self.observatory if self.observatory is not None else get_observatory()
 
     def send_from(self, src: Coord, direction: Direction, kind: str, payload) -> bool:
         """Send one hop; False if the link does not exist (mesh edge)."""
@@ -514,6 +533,8 @@ class MeshNetwork:
     def run(self, max_events: int | None = None) -> NetworkStats:
         """Start every process and drain the engine to quiescence."""
         self.refresh_instrumentation()
+        if self._obs is not None:
+            self._obs.watch(self)
         trc = self._trc
         with trc.span("network.run", nodes=len(self.nodes)):
             for process in self.nodes.values():

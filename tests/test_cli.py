@@ -161,6 +161,91 @@ class TestChaosVerb:
         assert 'repro_hot_counter_total{name="chaos.drops"}' in output
 
 
+class TestStatsOut:
+    def test_prom_out_writes_valid_exposition(self, tmp_path):
+        from tests.promtext import parse
+
+        target = tmp_path / "deep" / "metrics.prom"
+        target.parent.mkdir()
+        code, output = _run(
+            ["stats", "--side", "12", "--faults", "5", "--seed", "3",
+             "--routes", "5", "--prom", "--out", str(target)]
+        )
+        assert code == 0
+        assert f"wrote {target}" in output
+        parse(target.read_text())
+        # Atomic write leaves no temp files behind.
+        assert [p.name for p in target.parent.iterdir()] == ["metrics.prom"]
+
+    def test_out_requires_prom(self, tmp_path):
+        code, output = _run(
+            ["stats", "--side", "12", "--faults", "5", "--seed", "3",
+             "--routes", "5", "--out", str(tmp_path / "x.prom")]
+        )
+        assert code == 2
+        assert "add --prom" in output
+
+    def test_unwritable_out_is_run_failure(self, tmp_path):
+        code, output = _run(
+            ["stats", "--side", "12", "--faults", "5", "--seed", "3",
+             "--routes", "5", "--prom", "--out", str(tmp_path)]  # a directory
+        )
+        assert code == 1
+        assert "error" in output.lower()
+
+
+class TestTopVerb:
+    def test_once_renders_final_panel(self):
+        code, output = _run(
+            ["top", "--side", "10", "--faults", "4", "--seed", "3",
+             "--loss", "0.05", "--events", "4", "--once", "--no-color"]
+        )
+        assert code == 0
+        assert "repro top  t=" in output
+        assert "net.carried" in output
+        assert "CONVERGED" in output
+        assert "\x1b[" not in output
+
+    def test_refresh_validation(self):
+        code, output = _run(["top", "--side", "10", "--refresh", "0"])
+        assert code == 2
+        assert "--refresh" in output
+
+
+class TestServeMetricsVerb:
+    def test_push_files_and_exit_zero(self, tmp_path):
+        import json
+
+        from tests.promtext import parse
+
+        prom = tmp_path / "metrics.prom"
+        series = tmp_path / "series.json"
+        code, output = _run(
+            ["serve-metrics", "--side", "10", "--faults", "4", "--seed", "3",
+             "--loss", "0.05", "--events", "4",
+             "--push", str(prom), "--series-out", str(series)]
+        )
+        assert code == 0
+        assert "serving http://" in output
+        families = parse(prom.read_text())
+        assert "repro_live_sample" in families
+        payload = json.loads(series.read_text())
+        assert "net.carried" in payload["series"]
+
+    def test_fail_on_alerts_is_clean_on_benign_run(self, tmp_path):
+        code, output = _run(
+            ["serve-metrics", "--side", "10", "--faults", "4", "--seed", "3",
+             "--loss", "0.05", "--events", "4", "--fail-on-alerts"]
+        )
+        assert code == 0
+        assert "FAIL" not in output
+
+    def test_linger_validation(self):
+        code, output = _run(["serve-metrics", "--side", "10", "--linger", "-1"])
+        assert code == 2
+        assert "--linger" in output
+
+
 @pytest.fixture(scope="module")
 def recording(tmp_path_factory):
     """One small flight-recorded chaos run shared by the replay tests."""

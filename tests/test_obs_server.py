@@ -1,0 +1,162 @@
+"""The HTTP exporter: scrape endpoints, health semantics, atomic push."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsServer,
+    MetricsSink,
+    Observatory,
+    SampleStore,
+    ThresholdRule,
+    Tracer,
+    atomic_write_text,
+    render_timeseries,
+)
+from tests.promtext import PromParseError, parse
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.read().decode("utf-8"), dict(response.headers)
+
+
+def _observed_observatory(breach=False):
+    observatory = Observatory(rules=(ThresholdRule("deep", "q", ">", 10.0),))
+    values = [1.0, 2.0, 20.0 if breach else 3.0]
+    for tick, value in enumerate(values):
+        observatory.store.append(float(tick), {"q": value, "r": value * 2})
+        observatory.alerts.evaluate(float(tick), observatory.store)
+    return observatory
+
+
+class TestEndpoints:
+    def test_metrics_scrape_parses_strictly(self):
+        metrics = MetricsSink()
+        tracer = Tracer(metrics)
+        tracer.emit("protocol_msg", msg="esl", time=0, queue=1)
+        observatory = _observed_observatory()
+        with MetricsServer(observatory=observatory, metrics=metrics) as server:
+            status, body, headers = _get(server.url("/metrics"))
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        families = parse(body)
+        assert "repro_live_sample" in families
+        assert "repro_live_tick" in families
+        assert "repro_alert_active" in families
+        sample_labels = {
+            sample.label_dict["series"]
+            for sample in families["repro_live_sample"].samples
+        }
+        assert sample_labels == {"q", "r"}
+
+    def test_series_json_matches_snapshot(self):
+        observatory = _observed_observatory()
+        with MetricsServer(observatory=observatory) as server:
+            status, body, _ = _get(server.url("/series.json"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["series"] == observatory.store.snapshot()["series"]
+        assert payload["alerts"] == []
+        assert payload["firing"] == []
+
+    def test_healthz_ok_then_alerting_503(self):
+        with MetricsServer(observatory=_observed_observatory()) as server:
+            status, body, _ = _get(server.url("/healthz"))
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+        with MetricsServer(observatory=_observed_observatory(breach=True)) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url("/healthz"))
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert payload["status"] == "alerting"
+            assert payload["firing"] == ["deep"]
+
+    def test_unknown_path_404(self):
+        with MetricsServer(observatory=_observed_observatory()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url("/nope"))
+            assert excinfo.value.code == 404
+
+    def test_no_sources_still_valid(self):
+        with MetricsServer() as server:
+            status, body, _ = _get(server.url("/metrics"))
+            assert status == 200
+            assert body.startswith("#")
+            parse(body)
+            status, body, _ = _get(server.url("/healthz"))
+            assert json.loads(body)["status"] == "ok"
+
+    def test_double_start_rejected(self):
+        server = MetricsServer()
+        try:
+            server.start()
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+
+class TestPushMode:
+    def test_write_metrics_and_series(self, tmp_path):
+        observatory = _observed_observatory()
+        server = MetricsServer(observatory=observatory)
+        metrics_path = tmp_path / "out" / "metrics.prom"
+        series_path = tmp_path / "out" / "series.json"
+        server.write_metrics(str(metrics_path))
+        server.write_series(str(series_path))
+        server.stop()
+        parse(metrics_path.read_text())
+        payload = json.loads(series_path.read_text())
+        assert payload["series"] == observatory.store.snapshot()["series"]
+        # No temp droppings left behind.
+        assert sorted(p.name for p in metrics_path.parent.iterdir()) == [
+            "metrics.prom", "series.json",
+        ]
+
+    def test_atomic_write_replaces(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(str(target), "one\n")
+        atomic_write_text(str(target), "two\n")
+        assert target.read_text() == "two\n"
+
+    def test_atomic_write_failure_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "dir"
+        target.mkdir()
+        with pytest.raises(OSError):
+            atomic_write_text(str(target), "boom")  # destination is a directory
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestRenderTimeseries:
+    def test_alert_families(self):
+        observatory = _observed_observatory(breach=True)
+        text = render_timeseries(observatory.store, observatory.alerts)
+        families = parse(text)
+        active = {
+            sample.label_dict["rule"]: sample.value
+            for sample in families["repro_alert_active"].samples
+        }
+        assert active == {"deep": 1.0}
+        fired = {
+            sample.label_dict["rule"]: sample.value
+            for sample in families["repro_alerts_fired_total"].samples
+        }
+        assert fired == {"deep": 1.0}
+
+    def test_empty_store_renders_empty(self):
+        assert render_timeseries(SampleStore()) == ""
+
+    def test_strictness_of_test_parser(self):
+        with pytest.raises(PromParseError):
+            parse("no_type_header 1\n")
+        with pytest.raises(PromParseError):
+            parse("# TYPE a gauge\n# TYPE a gauge\na 1\n")
+        with pytest.raises(PromParseError):
+            parse("# TYPE a gauge\na 1\na 2\n")
+        with pytest.raises(PromParseError):
+            parse("# TYPE a gauge\na 1")  # missing trailing newline

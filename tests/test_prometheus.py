@@ -4,10 +4,11 @@ import re
 
 import pytest
 
-from repro.obs import MetricsSink, Tracer
+from repro.obs import MetricsSink, Observatory, ThresholdRule, Tracer
 from repro.obs.metrics import Histogram
 from repro.obs.prof import Profiler
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import render_prometheus, render_timeseries
+from tests import promtext
 
 # One sample line of the 0.0.4 text format: name{labels} value
 _SAMPLE = re.compile(
@@ -76,6 +77,24 @@ class TestFormat:
         assert 'repro_route_hops{quantile' not in text
         assert "repro_route_hops_count 0" in text
 
+    def test_empty_summary_with_stale_quantiles_and_null_total(self):
+        """An external snapshot (e.g. a persisted JSON file) can carry
+        count 0 alongside leftover numeric percentile keys and a null
+        total; only _sum 0 / _count 0 may be exposed."""
+        snapshot = {
+            "routes": {
+                "hops": {
+                    "count": 0, "total": None,
+                    "p50": 7.0, "p95": 9.0, "p99": 9.0,
+                },
+            },
+        }
+        text = render_prometheus(snapshot)
+        assert "quantile" not in text
+        assert "repro_route_hops_sum 0" in text
+        assert "repro_route_hops_count 0" in text
+        promtext.parse(text)
+
     def test_label_escaping(self):
         sink = MetricsSink()
         Tracer(sink).emit("protocol_msg", msg='odd"name\\x', time=0, queue=0)
@@ -122,6 +141,52 @@ class TestStableNames:
         text = render_prometheus(_populated_sink().snapshot(), prefix="mesh")
         assert "# TYPE mesh_events_total counter" in text
         assert "repro_" not in text
+
+
+class TestPromtextRoundTrip:
+    """Everything we render must survive the strict test parser."""
+
+    def test_sink_render_parses(self):
+        families = promtext.parse(render_prometheus(_populated_sink().snapshot()))
+        assert "repro_events_total" in families
+        assert families["repro_route_hops"].type == "summary"
+
+    def test_label_escaping_round_trips(self):
+        sink = MetricsSink()
+        gnarly = 'odd"name\\x\nsecond line'
+        Tracer(sink).emit("protocol_msg", msg=gnarly, time=0, queue=0)
+        families = promtext.parse(render_prometheus(sink.snapshot()))
+        labels = {
+            sample.label_dict["msg"]
+            for sample in families["repro_protocol_messages_total"].samples
+        }
+        assert gnarly in labels
+
+    def test_timeseries_render_parses(self):
+        observatory = Observatory(rules=(ThresholdRule("deep", "q", ">", 10.0),))
+        for tick, value in enumerate([1.0, 20.0]):
+            observatory.store.append(float(tick), {"q": value})
+            observatory.alerts.evaluate(float(tick), observatory.store)
+        families = promtext.parse(
+            render_timeseries(observatory.store, observatory.alerts)
+        )
+        assert {"repro_live_sample", "repro_live_points", "repro_live_tick",
+                "repro_alert_active", "repro_alerts_fired_total"} <= set(families)
+
+    def test_type_headers_unique_in_combined_export(self):
+        profiler = Profiler()
+        profiler.count("router.steps", 1)
+        text = render_prometheus(
+            _populated_sink().snapshot(), profile=profiler.snapshot()
+        )
+        # parse() raises on duplicate # TYPE lines; double-check the raw text.
+        promtext.parse(text)
+        types = re.findall(r"# TYPE (\S+)", text)
+        assert len(types) == len(set(types))
+
+    def test_render_is_deterministic(self):
+        snapshot = _populated_sink().snapshot()
+        assert render_prometheus(snapshot) == render_prometheus(snapshot)
 
 
 class TestProfileExport:
