@@ -230,6 +230,61 @@ def builtin_registry() -> BenchRegistry:
         with use_observatory(Observatory(rules=())):
             return _run_formation(state, "buckets", "fast")
 
+    # -- faults: delta maintenance vs full rebuild per event ----------
+    def fault_events_setup(config):
+        from repro.faults.injection import injection_events
+        from repro.mesh.topology import Mesh2D
+
+        # The issue's headline scenario: 64x64 sparse (~1% faults) with a
+        # quarter of the arrivals followed by a revival.  Both workloads
+        # consume the identical event stream, so their p50 ratio *is* the
+        # per-event maintenance speedup.
+        side = _size(config, 64, 32)
+        mesh = Mesh2D(side, side)
+        rng = np.random.default_rng(config.seed)
+        count = _size(config, 40, 14)
+        return mesh, injection_events(mesh, count, rng, revive_fraction=0.25)
+
+    @registry.register(
+        "faults.incremental_update", setup=fault_events_setup,
+        description="blocks + ESLs delta-maintained per fault event "
+                    "(O(affected) frontier + line rescans)",
+        repeats=10, quick_repeats=3,
+    )
+    def run_incremental_update(state):
+        from repro.faults.incremental import IncrementalFaultEngine
+
+        mesh, events = state
+        engine = IncrementalFaultEngine(mesh)
+        for action, coord in events:
+            engine.apply(action, coord)
+        if engine.full_rebuilds:
+            raise RuntimeError(
+                f"defensive full rebuild fired {engine.full_rebuilds}x"
+            )
+        return engine.generation
+
+    @registry.register(
+        "faults.full_rebuild", setup=fault_events_setup,
+        description="blocks + ESLs rebuilt from scratch after every fault "
+                    "event (the seed behaviour, same event stream)",
+        repeats=10, quick_repeats=3,
+    )
+    def run_full_rebuild(state):
+        from repro.core.safety import compute_safety_levels
+        from repro.faults.blocks import build_faulty_blocks
+
+        mesh, events = state
+        alive: set = set()
+        for action, coord in events:
+            if action == "inject":
+                alive.add(coord)
+            else:
+                alive.discard(coord)
+            blocks = build_faulty_blocks(mesh, sorted(alive))
+            compute_safety_levels(mesh, blocks.unusable)
+        return len(alive)
+
     def dynamic_setup(config):
         from repro.faults.injection import injection_sequence
         from repro.mesh.topology import Mesh2D

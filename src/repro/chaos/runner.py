@@ -103,6 +103,10 @@ class ChaosRunner:
         self.crashed: list[Coord] = []
         self.revived: list[Coord] = []
         self.skipped: list[ChaosEvent] = []
+        #: Every *applied* (non-skipped) event in application order -- the
+        #: exact delta stream an incremental maintenance engine must replay
+        #: to reach the final fault set from the initial one.
+        self.applied_events: list[ChaosEvent] = []
         self._primed = False
         self._ran = False
 
@@ -208,6 +212,7 @@ class ChaosRunner:
                 return
             self.network.fail_node(event.coord)
             self.crashed.append(event.coord)
+            self.applied_events.append(event)
             cause: int | None = None
             if recorder is not None:
                 cause = recorder.emit(
@@ -240,6 +245,7 @@ class ChaosRunner:
                 )
             process = self.network.restore_node(event.coord, self._factory)
             self.revived.append(event.coord)
+            self.applied_events.append(event)
             if prof.enabled:
                 prof.count("chaos.revives")
             if recorder is not None:

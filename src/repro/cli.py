@@ -322,6 +322,12 @@ def _chaos_workload_args(parser: argparse.ArgumentParser) -> None:
         "--pulses", type=int, default=2,
         help="stabilization pulses after the schedule (default 2)",
     )
+    parser.add_argument(
+        "--maintenance", choices=("full", "incremental"), default="full",
+        help="how the verification oracle is maintained: rebuilt from "
+        "scratch ('full', default) or delta-maintained per applied "
+        "crash/revive ('incremental', O(affected) per event)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -704,6 +710,16 @@ def _cmd_stats(args, out: Callable[[str], None]) -> int:
                 run_boundary_distribution(
                     mesh, blocks.rects(), blocked, chaos=chaos_plan
                 )
+            with profiler.section("stats.incremental"):
+                # Replay the scenario's faults one arrival at a time through
+                # the delta-maintenance engine so the incr.* hot counters
+                # (events, affected cells, fallback rebuilds) land in the
+                # snapshot alongside the batch numbers.
+                from repro.faults.incremental import IncrementalFaultEngine
+
+                fault_engine = IncrementalFaultEngine(mesh)
+                for fault in scenario.faults:
+                    fault_engine.inject(fault)
             router = WuRouter(mesh, blocks)
             fallback = DetourRouter(mesh, blocks)
             with profiler.section("stats.routing"):
@@ -859,7 +875,7 @@ def _cmd_chaos(args, out: Callable[[str], None]) -> int:
         report = verify_convergence(
             mesh, faults, plan, schedule,
             stabilize_rounds=args.pulses, seed=args.chaos_seed,
-            recorder=recorder,
+            recorder=recorder, maintenance=args.maintenance,
         )
     finally:
         if recorder is not None:
@@ -921,7 +937,7 @@ def _cmd_top(args, out: Callable[[str], None]) -> int:
     report = verify_convergence(
         mesh, faults, plan, schedule,
         stabilize_rounds=args.pulses, seed=args.chaos_seed,
-        observatory=observatory,
+        observatory=observatory, maintenance=args.maintenance,
     )
     out(dashboard.frame())
     out(report.summary())
@@ -959,7 +975,7 @@ def _cmd_serve_metrics(args, out: Callable[[str], None]) -> int:
                     report = verify_convergence(
                         mesh, faults, plan, schedule,
                         stabilize_rounds=args.pulses, seed=args.chaos_seed,
-                        observatory=observatory,
+                        observatory=observatory, maintenance=args.maintenance,
                     )
             finally:
                 tracer.close()

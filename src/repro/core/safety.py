@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -99,6 +100,29 @@ class SafetyLevels:
         return int(self._grid_by_direction[direction][coord])
 
 
+def _axis_scans(blocked: np.ndarray, big: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per column of axis 1: levels toward +axis0 and -axis0 for every cell.
+
+    ``blocked`` may be the full grid or any column subset; each column is
+    scanned independently, so the result on a subset is bit-identical to
+    the corresponding columns of the full-grid scan.
+    """
+    small = -big
+    n = blocked.shape[0]
+    # Nearest blocked index at-or-after / at-or-before, then shift by one to
+    # make the search strict ("strictly East of the node").
+    nearest_above = _nearest_blocked_above(blocked, big)
+    nearest_below = _nearest_blocked_below(blocked, small)
+    pad_hi = np.full((1, blocked.shape[1]), big, dtype=np.int64)
+    pad_lo = np.full((1, blocked.shape[1]), small, dtype=np.int64)
+    nearest_pos = np.vstack([nearest_above[1:, :], pad_hi])
+    nearest_neg = np.vstack([pad_lo, nearest_below[:-1, :]])
+    idx = np.arange(n)[:, None]
+    toward_pos = np.minimum(nearest_pos - idx - 1, UNBOUNDED)
+    toward_neg = np.minimum(idx - nearest_neg - 1, UNBOUNDED)
+    return toward_pos, toward_neg
+
+
 def compute_safety_levels(mesh: Mesh2D, blocked: np.ndarray) -> SafetyLevels:
     """Compute the ESL of every node from the blocked-node grid.
 
@@ -119,32 +143,42 @@ def _compute_safety_levels(mesh: Mesh2D, blocked: np.ndarray) -> SafetyLevels:
             f"blocked grid shape {blocked.shape} does not match mesh {mesh.n}x{mesh.m}"
         )
     big = UNBOUNDED + mesh.n + mesh.m  # strictly larger than any index offset
-    small = -big
 
-    # Nearest blocked x' >= x and x' <= x, per (x, y).
-    nearest_east_inclusive = _nearest_blocked_above(blocked, big)
-    nearest_west_inclusive = _nearest_blocked_below(blocked, small)
-    # Shift by one to make the search strict ("strictly East of the node").
-    pad_east = np.full((1, mesh.m), big, dtype=np.int64)
-    pad_west = np.full((1, mesh.m), small, dtype=np.int64)
-    nearest_east = np.vstack([nearest_east_inclusive[1:, :], pad_east])
-    nearest_west = np.vstack([pad_west, nearest_west_inclusive[:-1, :]])
-
-    xs = np.arange(mesh.n)[:, None]
-    east = np.minimum(nearest_east - xs - 1, UNBOUNDED)
-    west = np.minimum(xs - nearest_west - 1, UNBOUNDED)
-
+    east, west = _axis_scans(blocked, big)
     # Same scans along y via the transposed grid.
-    blocked_t = blocked.T
-    nearest_north_inclusive = _nearest_blocked_above(blocked_t, big)
-    nearest_south_inclusive = _nearest_blocked_below(blocked_t, small)
-    pad_north = np.full((1, mesh.n), big, dtype=np.int64)
-    pad_south = np.full((1, mesh.n), small, dtype=np.int64)
-    nearest_north = np.vstack([nearest_north_inclusive[1:, :], pad_north])
-    nearest_south = np.vstack([pad_south, nearest_south_inclusive[:-1, :]])
+    north_t, south_t = _axis_scans(blocked.T, big)
 
-    ys = np.arange(mesh.m)[:, None]
-    north = np.minimum(nearest_north - ys - 1, UNBOUNDED).T
-    south = np.minimum(ys - nearest_south - 1, UNBOUNDED).T
+    return SafetyLevels(
+        mesh=mesh, east=east, south=south_t.T, west=west, north=north_t.T
+    )
 
-    return SafetyLevels(mesh=mesh, east=east, south=south, west=west, north=north)
+
+def refresh_safety_levels(
+    levels: SafetyLevels,
+    blocked: np.ndarray,
+    xs: Sequence[int] = (),
+    ys: Sequence[int] = (),
+) -> None:
+    """Recompute the ESL scans of the given rows/columns **in place**.
+
+    A blocked-status change at ``(x, y)`` perturbs exactly the East/West
+    levels of the nodes sharing ``y`` and the North/South levels of the
+    nodes sharing ``x`` (the paper's Theorem-2 affected-rows model), so
+    delta maintenance only rescans those lines: ``xs`` are the x values
+    whose North/South columns need refreshing, ``ys`` the y values whose
+    East/West rows do.  Each line rescan is the same vectorised pass as
+    :func:`compute_safety_levels` restricted to that line, so the result
+    is bit-identical to a full recomputation.
+    """
+    mesh = levels.mesh
+    big = UNBOUNDED + mesh.n + mesh.m
+    if len(ys):
+        cols = np.unique(np.asarray(list(ys), dtype=np.intp))
+        toward_pos, toward_neg = _axis_scans(blocked[:, cols], big)
+        levels.east[:, cols] = toward_pos
+        levels.west[:, cols] = toward_neg
+    if len(xs):
+        rows = np.unique(np.asarray(list(xs), dtype=np.intp))
+        toward_pos, toward_neg = _axis_scans(blocked[rows, :].T, big)
+        levels.north[rows, :] = toward_pos.T
+        levels.south[rows, :] = toward_neg.T

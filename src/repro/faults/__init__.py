@@ -15,6 +15,9 @@ Three cooperating modules:
   sufficient condition for the existence of a minimal path (coverage
   sequences), plus an exact monotone-path dynamic program used as ground
   truth throughout the test-suite.
+- :mod:`repro.faults.incremental` -- O(affected) delta maintenance of
+  blocks, MCCs, and ESLs under live fault arrival/revival, with
+  generation-tagged cache invalidation.
 """
 
 from repro.faults.blocks import BlockSet, FaultyBlock, build_faulty_blocks
@@ -25,10 +28,17 @@ from repro.faults.coverage import (
     covering_sequence_on_x,
     covering_sequence_on_y,
 )
+from repro.faults.incremental import (
+    IncrementalFaultEngine,
+    IncrementalMCCState,
+    UpdateReport,
+)
 from repro.faults.injection import (
     FaultScenario,
     clustered_faults,
     generate_scenario,
+    injection_events,
+    injection_sequence,
     uniform_faults,
     wall_faults,
 )
@@ -37,16 +47,21 @@ __all__ = [
     "BlockSet",
     "FaultScenario",
     "FaultyBlock",
+    "IncrementalFaultEngine",
+    "IncrementalMCCState",
     "MCCComponent",
     "MCCSet",
     "MCCType",
     "NodeStatus",
+    "UpdateReport",
     "build_faulty_blocks",
     "build_mccs",
     "clustered_faults",
     "covering_sequence_on_x",
     "covering_sequence_on_y",
     "generate_scenario",
+    "injection_events",
+    "injection_sequence",
     "minimal_path_exists",
     "minimal_path_exists_wang",
     "uniform_faults",

@@ -27,6 +27,7 @@ __all__ = [
     "FaultScenario",
     "clustered_faults",
     "generate_scenario",
+    "injection_events",
     "injection_sequence",
     "uniform_faults",
     "wall_faults",
@@ -94,6 +95,37 @@ def injection_sequence(
     faults = uniform_faults(mesh, count, rng, forbidden=forbidden)
     order = rng.permutation(len(faults))
     return [faults[int(i)] for i in order]
+
+
+def injection_events(
+    mesh: Mesh2D,
+    count: int,
+    rng: np.random.Generator,
+    source: Coord | None = None,
+    revive_fraction: float = 0.0,
+) -> list[tuple[str, Coord]]:
+    """A mixed ``("inject" | "revive", coord)`` event stream.
+
+    Extends :func:`injection_sequence` for delta-maintenance workloads
+    (:class:`repro.faults.incremental.IncrementalFaultEngine`, the
+    ``faults.incremental_update`` bench): ``count`` distinct faults strike
+    in a random order, and after each arrival a currently faulty node is
+    revived with probability ``revive_fraction`` (drawn under the same
+    generator, so the stream is reproducible from the seed).  Every revive
+    targets a fault that is live at that point, so the stream is valid to
+    replay from an empty mesh.
+    """
+    if not 0.0 <= revive_fraction <= 1.0:
+        raise ValueError(f"revive_fraction must be in [0, 1], got {revive_fraction}")
+    events: list[tuple[str, Coord]] = []
+    alive: list[Coord] = []
+    for coord in injection_sequence(mesh, count, rng, source=source):
+        events.append(("inject", coord))
+        alive.append(coord)
+        if revive_fraction > 0 and alive and rng.random() < revive_fraction:
+            victim = alive.pop(int(rng.integers(len(alive))))
+            events.append(("revive", victim))
+    return events
 
 
 def clustered_faults(

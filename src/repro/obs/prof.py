@@ -44,6 +44,12 @@ HOT_COUNTER_NAMES: frozenset[str] = frozenset(
         "sim.dropped",       # simulator messages dropped at a down channel
         "cache.hits",        # scenario-artifact cache hits (repro.parallel)
         "cache.misses",      # scenario-artifact cache misses
+        "cache.stale",       # generation-stale entries rebuilt
+        "cache.revalidated", # stale entries proven still valid and retagged
+        # Incremental fault maintenance (repro.faults.incremental):
+        "incr.events",         # fault arrivals/revivals delta-maintained
+        "incr.affected_cells", # cells actually perturbed across those events
+        "incr.full_rebuilds",  # defensive full-rebuild fallbacks taken
         # Chaos engineering (repro.chaos + repro.simulator.protocols.reliable):
         "chaos.drops",             # messages destroyed in-flight by the fault plan
         "chaos.duplicates",        # ghost copies injected by the fault plan

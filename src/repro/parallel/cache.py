@@ -44,7 +44,12 @@ class ArtifactCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.stale = 0
+        self.revalidated = 0
         self._entries: collections.OrderedDict[Hashable, Any] = collections.OrderedDict()
+        # Generation tag per key (see get_or_build); absent/None means the
+        # entry predates generation tracking and never goes stale.
+        self._tags: dict[Hashable, int | None] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -52,34 +57,76 @@ class ArtifactCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
 
-    def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
-        """The cached value for ``key``, building (and storing) on a miss."""
+    def generation_of(self, key: Hashable) -> int | None:
+        """The generation tag ``key`` was last stored/revalidated under."""
+        return self._tags.get(key)
+
+    def get_or_build(
+        self,
+        key: Hashable,
+        build: Callable[[], Any],
+        *,
+        generation: int | None = None,
+        revalidate: Callable[[Any, int | None], bool] | None = None,
+    ) -> Any:
+        """The cached value for ``key``, building (and storing) on a miss.
+
+        With ``generation`` set, entries are tagged with the generation
+        they were built under; a later lookup under a newer generation is
+        *stale* rather than a plain hit.  ``revalidate(value, tag)`` then
+        gets a chance to prove the entry survived every event between its
+        tag and now (e.g. no fault landed on a cached path) -- returning
+        True retags it to the current generation, False rebuilds.  Without
+        ``revalidate``, stale entries are always rebuilt.  Callers that
+        pass no ``generation`` keep the original untagged LRU behaviour.
+        """
         profiler = get_profiler()
         if key in self._entries:
-            self.hits += 1
+            tag = self._tags.get(key)
+            fresh = generation is None or tag == generation
+            if not fresh and revalidate is not None and revalidate(
+                self._entries[key], tag
+            ):
+                self._tags[key] = generation
+                self.revalidated += 1
+                if profiler.enabled:
+                    profiler.count("cache.revalidated")
+                fresh = True
+            if fresh:
+                self.hits += 1
+                if profiler.enabled:
+                    profiler.count("cache.hits")
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.stale += 1
             if profiler.enabled:
-                profiler.count("cache.hits")
-            self._entries.move_to_end(key)
-            return self._entries[key]
+                profiler.count("cache.stale")
+            del self._entries[key]
+            del self._tags[key]
         self.misses += 1
         if profiler.enabled:
             profiler.count("cache.misses")
         value = build()
         self._entries[key] = value
+        self._tags[key] = generation
         if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._tags.pop(evicted, None)
         return value
 
     def clear(self) -> None:
         self._entries.clear()
+        self._tags.clear()
 
     def stats(self) -> dict[str, int]:
-        """JSON-ready counters (sizes and hit/miss tallies)."""
+        """JSON-ready counters (sizes and hit/miss/staleness tallies)."""
         return {
             "entries": len(self._entries),
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "stale": self.stale,
+            "revalidated": self.revalidated,
         }
 
 

@@ -24,12 +24,13 @@ traffic bench.
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 import numpy as np
 
-from repro.mesh.geometry import Coord, manhattan_distance
+from repro.mesh.geometry import Coord, Rect, manhattan_distance
 from repro.mesh.topology import Mesh2D
 from repro.parallel.cache import ArtifactCache
 from repro.routing.packet import Packet, PacketStatus
@@ -40,6 +41,11 @@ from repro.routing.router import RoutingError
 #: runs revisit recent pairs far more often than old ones, so an LRU of
 #: this size keeps the hit rate while capping memory.
 PATH_CACHE_MAXSIZE = 1024
+
+#: How many recent fault events a :class:`PathPolicy` keeps affected-window
+#: records for.  An entry older than the window can no longer prove it
+#: survived every intervening event and is rebuilt instead of revalidated.
+FAULT_EVENT_HISTORY = 64
 
 
 class RoutingPolicy(Protocol):
@@ -54,29 +60,93 @@ class PathPolicy:
 
     Routes are memoised in a bounded LRU (:class:`repro.parallel.cache.ArtifactCache`),
     so unbounded workloads cannot grow memory without limit.
+
+    Staleness is tracked per entry, not per cache: every fault event
+    reported through :meth:`note_fault_event` bumps a generation counter
+    and records the event's affected window, and a cached route built
+    under an older generation is served again only if it avoids every
+    window recorded since (otherwise just that route is recomputed).  A
+    fault on the far side of the mesh therefore no longer evicts routes
+    it cannot possibly touch.  :meth:`invalidate` keeps the old blunt
+    drop-everything behaviour for callers without affected-window
+    information.
     """
 
     route: Callable[[Coord, Coord], Path]
     _cache: ArtifactCache = field(
         default_factory=lambda: ArtifactCache(maxsize=PATH_CACHE_MAXSIZE), repr=False
     )
+    _generation: int = field(default=0, repr=False)
+    # (generation, affected Rect) per recent event, oldest first.
+    _events: collections.deque = field(
+        default_factory=lambda: collections.deque(maxlen=FAULT_EVENT_HISTORY),
+        repr=False,
+    )
+    # Entries tagged below this generation predate the recorded history
+    # (or a windowless invalidation) and cannot be revalidated.
+    _floor: int = field(default=0, repr=False)
 
     def next_hop(self, current: Coord, dest: Coord) -> Coord:
         raise NotImplementedError("PathPolicy packets carry their own cursor")
 
+    @property
+    def generation(self) -> int:
+        """Count of fault events this policy has been told about."""
+        return self._generation
+
     def path_for(self, source: Coord, dest: Coord) -> Path:
         return self._cache.get_or_build(
-            (source, dest), lambda: self.route(source, dest)
+            (source, dest),
+            lambda: self.route(source, dest),
+            generation=self._generation,
+            revalidate=self._survives,
         )
+
+    def _survives(self, path: Path, tag: int | None) -> bool:
+        if tag is None or tag < self._floor:
+            return False
+        return not any(
+            generation > tag and any(rect.contains(node) for node in path.nodes)
+            for generation, rect in self._events
+        )
+
+    def note_fault_event(
+        self, affected: Rect | None = None, generation: int | None = None
+    ) -> None:
+        """Record one fault arrival/revival.
+
+        ``affected`` is the event's perturbed window (e.g.
+        ``UpdateReport.affected_rect`` from
+        :class:`repro.faults.incremental.IncrementalFaultEngine`); ``None``
+        means "unknown", which marks every existing entry stale.  Passing
+        the engine's ``generation`` keeps the policy's counter aligned
+        with the mesh's; otherwise the policy counts events itself.
+        """
+        self._generation = (
+            generation if generation is not None else self._generation + 1
+        )
+        if affected is None:
+            self._events.clear()
+            self._floor = self._generation
+            return
+        if len(self._events) == self._events.maxlen:
+            # The oldest record falls off: entries tagged before it can no
+            # longer check every intervening event.
+            self._floor = self._events[0][0]
+        self._events.append((self._generation, affected))
 
     def invalidate(self) -> None:
         """Drop every memoised path (call after the fault set changes).
 
         Cached paths were computed against the old fault information; a
         route threaded through a newly faulty region would otherwise keep
-        being served for up to :data:`PATH_CACHE_MAXSIZE` pairs.
+        being served for up to :data:`PATH_CACHE_MAXSIZE` pairs.  Prefer
+        :meth:`note_fault_event` with an affected window when one is
+        known -- it only drops the routes the event can actually touch.
         """
         self._cache.clear()
+        self._events.clear()
+        self._floor = self._generation
 
 
 @dataclass

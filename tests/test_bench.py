@@ -63,6 +63,29 @@ class TestRegistry:
         assert "micro.esl_compute" in registry
         assert "macro.fig9_sweep" in registry
 
+    def test_incremental_vs_full_rebuild_pair_registered(self):
+        """The delta-maintenance headline pair shares one setup so the
+        p50 ratio is the per-event maintenance speedup."""
+        registry = builtin_registry()
+        incremental = registry.get("faults.incremental_update")
+        full = registry.get("faults.full_rebuild")
+        assert incremental.setup is full.setup
+        assert incremental.repeats == full.repeats
+
+    def test_incremental_workload_beats_full_rebuild_quick(self):
+        """CI-scale teeth for the perf claim: even at --quick scale the
+        delta-maintained run must beat rebuilding from scratch."""
+        from repro.bench.runner import BenchConfig, run_benchmarks
+
+        registry = builtin_registry()
+        config = BenchConfig(quick=True, repeats=3, seed=2002)
+        result = run_benchmarks(
+            registry.select(["faults.*"]), config
+        )
+        incremental = result["workloads"]["faults.incremental_update"]
+        full = result["workloads"]["faults.full_rebuild"]
+        assert incremental["wall_time_s"]["p50"] < full["wall_time_s"]["p50"]
+
     def test_discovery_runs_hooks(self, tmp_path):
         (tmp_path / "bench_fake.py").write_text(
             "def register_workloads(registry):\n"

@@ -108,3 +108,52 @@ class TestRandomSequences:
         blocks = build_faulty_blocks(mesh, faults)
         from_scratch = run_safety_propagation(mesh, blocks.unusable).stats.messages
         assert total_incremental <= 4 * (from_scratch + 4 * 24)
+
+
+class TestIncrementalMaintenance:
+    def test_incremental_reference_matches_full_rebuild(self, rng):
+        """Under maintenance="incremental" the centralized reference is
+        delta-maintained yet stays bit-identical to a from-scratch build
+        through injections and revivals."""
+        mesh = Mesh2D(12, 12)
+        dynamic = DynamicMesh(mesh, maintenance="incremental")
+        faults = uniform_faults(mesh, 10, rng)
+        for fault in faults:
+            report = dynamic.inject_fault(fault)
+            assert report.affected_cells is not None
+            assert report.affected_cells >= 1
+            assert report.affected_fraction == pytest.approx(
+                report.affected_cells / mesh.size
+            )
+        assert dynamic.reports[-1].generation == len(faults)
+        for victim in faults[::3]:
+            dynamic.revive_node(victim)
+
+        expected = build_faulty_blocks(mesh, dynamic.faults)
+        got = dynamic.reference_blocks()
+        assert np.array_equal(got.unusable, expected.unusable)
+        assert got.blocks == expected.blocks
+        expected_levels = compute_safety_levels(mesh, expected.unusable)
+        got_levels = dynamic.reference_levels()
+        for grid in ("east", "south", "west", "north"):
+            assert np.array_equal(
+                getattr(got_levels, grid), getattr(expected_levels, grid)
+            )
+        _assert_consistent(dynamic)
+
+    def test_full_mode_reports_carry_no_affected_fields(self):
+        dynamic = DynamicMesh(Mesh2D(8, 8))
+        report = dynamic.inject_fault((3, 3))
+        assert report.affected_cells is None
+        assert report.affected_fraction is None
+        assert report.generation is None
+        assert dynamic.fault_engine is None
+        # The full-rebuild reference still serves ground truth.
+        expected = build_faulty_blocks(dynamic.mesh, dynamic.faults)
+        assert np.array_equal(
+            dynamic.reference_blocks().unusable, expected.unusable
+        )
+
+    def test_rejects_unknown_maintenance(self):
+        with pytest.raises(ValueError, match="maintenance"):
+            DynamicMesh(Mesh2D(8, 8), maintenance="lazy")

@@ -57,7 +57,14 @@ class TestArtifactCache:
         assert cache.get_or_build("c", lambda: 3) == 3  # evicts "a" (LRU)
         assert "a" not in cache and "b" in cache and "c" in cache
         assert cache.get_or_build("a", lambda: 9) == 9
-        assert cache.stats() == {"entries": 2, "maxsize": 2, "hits": 1, "misses": 4}
+        assert cache.stats() == {
+            "entries": 2,
+            "maxsize": 2,
+            "hits": 1,
+            "misses": 4,
+            "stale": 0,
+            "revalidated": 0,
+        }
 
     def test_rejects_nonpositive_maxsize(self):
         with pytest.raises(ValueError, match="maxsize"):
@@ -80,6 +87,74 @@ class TestArtifactCache:
             cache.get_or_build("j", lambda: 2)
         assert profiler.hot["cache.misses"] == 2
         assert profiler.hot["cache.hits"] == 1
+
+    def test_generation_tagged_entries_go_stale(self):
+        cache = ArtifactCache()
+        assert cache.get_or_build("k", lambda: 1, generation=1) == 1
+        assert cache.get_or_build("k", lambda: 2, generation=1) == 1  # hit
+        assert cache.generation_of("k") == 1
+        # A newer generation without a revalidator rebuilds the entry.
+        assert cache.get_or_build("k", lambda: 2, generation=2) == 2
+        assert cache.generation_of("k") == 2
+        assert cache.stats()["stale"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_revalidate_retags_surviving_entries(self):
+        cache = ArtifactCache()
+        seen: list = []
+
+        def revalidate(value, tag):
+            seen.append((value, tag))
+            return True
+
+        cache.get_or_build("k", lambda: 1, generation=1)
+        got = cache.get_or_build(
+            "k", lambda: 2, generation=5, revalidate=revalidate
+        )
+        assert got == 1  # survived: old value kept
+        assert seen == [(1, 1)]
+        assert cache.generation_of("k") == 5
+        assert cache.stats()["revalidated"] == 1
+        # Once retagged, the same generation is a plain hit (no recheck).
+        cache.get_or_build("k", lambda: 2, generation=5, revalidate=revalidate)
+        assert seen == [(1, 1)]
+
+    def test_revalidate_rejection_rebuilds(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1, generation=1)
+        got = cache.get_or_build(
+            "k", lambda: 2, generation=2, revalidate=lambda v, t: False
+        )
+        assert got == 2
+        assert cache.stats() == {
+            "entries": 1,
+            "maxsize": cache.maxsize,
+            "hits": 0,
+            "misses": 2,
+            "stale": 1,
+            "revalidated": 0,
+        }
+
+    def test_untagged_callers_keep_legacy_behaviour(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1)
+        assert cache.get_or_build("k", lambda: 2) == 1
+        assert cache.generation_of("k") is None
+        # An untagged lookup of a tagged entry is also a plain hit.
+        cache.get_or_build("g", lambda: 3, generation=7)
+        assert cache.get_or_build("g", lambda: 4) == 3
+
+    def test_staleness_profiler_counters(self):
+        cache = ArtifactCache()
+        profiler = Profiler()
+        with use_profiler(profiler):
+            cache.get_or_build("k", lambda: 1, generation=1)
+            cache.get_or_build("k", lambda: 2, generation=2)
+            cache.get_or_build(
+                "k", lambda: 3, generation=3, revalidate=lambda v, t: True
+            )
+        assert profiler.hot["cache.stale"] == 1
+        assert profiler.hot["cache.revalidated"] == 1
 
 
 class TestExperimentCacheReuse:

@@ -373,3 +373,78 @@ class TestPathPolicyInvalidation:
         policy = PathPolicy(lambda s, d: (s, d))
         policy.invalidate()
         assert len(policy._cache) == 0
+
+
+class TestPathPolicyGenerations:
+    """Per-entry staleness: a fault event only drops the routes it can
+    actually touch (satellite of the incremental-maintenance engine)."""
+
+    def _tracking_policy(self, mesh, faults):
+        from repro.routing.detour import DetourRouter
+
+        calls = []
+
+        def route(source, dest):
+            calls.append((source, dest))
+            return DetourRouter(mesh, build_faulty_blocks(mesh, faults)).route(
+                source, dest
+            )
+
+        return PathPolicy(route), calls
+
+    def test_unaffected_route_survives_distant_fault(self):
+        """The regression the issue names: a cached (s, d) route far from
+        an injected fault must survive the event (revalidated, not
+        rebuilt), while a route through the affected window is rebuilt."""
+        from repro.faults.incremental import IncrementalFaultEngine
+
+        mesh = Mesh2D(16, 16)
+        faults: list = []
+        policy, calls = self._tracking_policy(mesh, faults)
+        near = policy.path_for((0, 4), (8, 4))
+        policy.path_for((15, 0), (15, 15))  # distant: hugs the far column
+        assert len(calls) == 2
+
+        engine = IncrementalFaultEngine(mesh)
+        victim = near.nodes[len(near.nodes) // 2]
+        faults.append(victim)
+        report = engine.inject(victim)
+        policy.note_fault_event(report.affected_rect, report.generation)
+        assert policy.generation == 1
+
+        # The distant route survives without a rebuild...
+        policy.path_for((15, 0), (15, 15))
+        assert len(calls) == 2
+        assert policy._cache.revalidated == 1
+        # ...while the route through the fault is recomputed and avoids it.
+        fresh = policy.path_for((0, 4), (8, 4))
+        assert len(calls) == 3
+        assert victim not in fresh.nodes
+
+    def test_windowless_event_marks_everything_stale(self):
+        policy, calls = self._tracking_policy(Mesh2D(8, 8), [])
+        policy.path_for((0, 0), (7, 7))
+        policy.note_fault_event()  # no affected window known
+        policy.path_for((0, 0), (7, 7))
+        assert len(calls) == 2
+
+    def test_history_overflow_forces_rebuild(self):
+        from repro.mesh.geometry import Rect
+        from repro.simulator.traffic import FAULT_EVENT_HISTORY
+
+        policy, calls = self._tracking_policy(Mesh2D(8, 8), [])
+        policy.path_for((0, 0), (0, 7))
+        # Flood the event history with windows that never touch the route;
+        # once the record of an intervening event is lost, the entry can
+        # no longer prove it survived and must rebuild.
+        for _ in range(FAULT_EVENT_HISTORY + 1):
+            policy.note_fault_event(Rect(7, 7, 0, 0))
+        policy.path_for((0, 0), (0, 7))
+        assert len(calls) == 2
+
+    def test_invalidate_still_flushes_everything(self):
+        policy, calls = self._tracking_policy(Mesh2D(8, 8), [])
+        policy.path_for((0, 0), (7, 7))
+        policy.invalidate()
+        policy.path_for((0, 0), (7, 7))
+        assert len(calls) == 2
