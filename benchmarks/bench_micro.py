@@ -77,6 +77,57 @@ def test_wu_routing_speed(benchmark, workload):
     assert path.is_minimal
 
 
+BATCH = 256
+
+
+@pytest.fixture(scope="module")
+def batched_workload():
+    """One stacked fault batch shared by the batched/scalar formation pair,
+    so both benches below time the identical patterns."""
+    from repro.faults.injection import uniform_faults_batch
+
+    mesh = Mesh2D(SIDE, SIDE)
+    seeds = np.random.SeedSequence(7).spawn(BATCH)
+    rngs = [np.random.default_rng(seed) for seed in seeds]
+    counts = np.full(BATCH, FAULTS)
+    grids = uniform_faults_batch(mesh, counts, rngs, forbidden={mesh.center})
+    fault_lists = [
+        [(int(x), int(y)) for x, y in np.argwhere(grid)] for grid in grids
+    ]
+    return mesh, grids, fault_lists
+
+
+def test_block_formation_batched_speed(benchmark, batched_workload):
+    from repro.core.batched_patterns import batch_disable_fixpoint
+
+    _, grids, _ = batched_workload
+    blocked = benchmark(batch_disable_fixpoint, grids)
+    assert blocked.shape == (BATCH, SIDE, SIDE)
+
+
+def test_block_formation_scalar_loop_speed(benchmark, batched_workload):
+    """Per-pattern baseline over the same batch: the ratio against
+    ``test_block_formation_batched_speed`` is the lockstep speedup."""
+    mesh, _, fault_lists = batched_workload
+
+    def run():
+        return [build_faulty_blocks(mesh, faults) for faults in fault_lists]
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == BATCH
+
+
+def test_block_formation_batched_matches_scalar(batched_workload):
+    from repro.core.array_api import to_numpy
+    from repro.core.batched_patterns import batch_disable_fixpoint
+
+    mesh, grids, fault_lists = batched_workload
+    blocked = to_numpy(batch_disable_fixpoint(grids))
+    for index in (0, BATCH // 2, BATCH - 1):
+        expected = build_faulty_blocks(mesh, fault_lists[index]).unusable
+        np.testing.assert_array_equal(blocked[index], expected)
+
+
 def test_distributed_block_formation_speed(benchmark):
     mesh = Mesh2D(40, 40)
     rng = np.random.default_rng(7)
@@ -132,3 +183,40 @@ def register_workloads(registry):
     def run_formation(state):
         mesh, faults = state
         return run_block_formation(mesh, faults)
+
+    def batched_formation_setup(config):
+        from repro.faults.injection import uniform_faults_batch
+
+        side = 48 if config.quick else SIDE
+        batch = 64 if config.quick else BATCH
+        mesh = Mesh2D(side, side)
+        seeds = np.random.SeedSequence(config.seed).spawn(batch)
+        rngs = [np.random.default_rng(seed) for seed in seeds]
+        counts = np.full(batch, side // 2)
+        grids = uniform_faults_batch(mesh, counts, rngs, forbidden={mesh.center})
+        fault_lists = [
+            [(int(x), int(y)) for x, y in np.argwhere(grid)] for grid in grids
+        ]
+        return mesh, grids, fault_lists
+
+    @registry.register(
+        "micro.block_formation_batched", setup=batched_formation_setup,
+        repeats=5, quick_repeats=2,
+        description="Definition 1 fixpoint over a stacked fault batch, "
+                    "all patterns disabled in lockstep",
+    )
+    def run_batched_formation(state):
+        from repro.core.batched_patterns import batch_disable_fixpoint
+
+        _, grids, _ = state
+        return batch_disable_fixpoint(grids)
+
+    @registry.register(
+        "micro.block_formation_loop", setup=batched_formation_setup,
+        repeats=5, quick_repeats=2,
+        description="the same fault batch through per-pattern "
+                    "build_faulty_blocks: the batched kernel's baseline",
+    )
+    def run_loop_formation(state):
+        mesh, _, fault_lists = state
+        return [build_faulty_blocks(mesh, faults) for faults in fault_lists]

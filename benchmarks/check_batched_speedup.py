@@ -1,0 +1,138 @@
+"""Gate: the batched pattern engine must beat the scalar path >= 5x.
+
+Times the ``macro.conditions_batched_patterns`` /
+``macro.conditions_per_pattern`` workload pair from the built-in bench
+registry -- the fig9 block-model sweep planned as stacked ``(batch, n,
+m)`` grids versus the identical sweep (same seeds) forced down the
+per-pattern scalar path -- and fails when the batched best-of is less
+than ``--min-speedup`` times faster than the scalar best-of.
+
+The variants run *interleaved* (scalar, batched, scalar, batched, ...)
+so machine-load drift on a noisy CI runner hits both sides equally, and
+each side is scored by its *minimum*: both do identical deterministic
+work, scheduler noise is strictly additive, so min-of-N estimates the
+true cost.  Both sweeps also produce the same FigureSeries, which the
+gate asserts point for point before timing anything -- a fast engine
+that drifts from the scalar semantics is a failure, not a win.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_batched_speedup.py [--quick]
+        [--min-speedup 5.0] [--repeats N] [--backend numpy]
+        [--out sweep.json]
+
+``--out`` writes the batched sweep's table plus the timing verdict as
+JSON (the CI job uploads it as an artifact when the gate fails).
+
+Exit codes: 0 gate met, 1 too slow or series mismatch, 2 bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.bench import BenchConfig, builtin_registry
+
+BATCHED = "macro.conditions_batched_patterns"
+SCALAR = "macro.conditions_per_pattern"
+
+
+def _timed(run, state) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    result = run(state)
+    return time.perf_counter() - t0, result
+
+
+def _snapshot(series) -> dict:
+    return {
+        "figure_id": series.figure_id,
+        "xs": list(series.xs),
+        "series": {
+            name: [(e.value, e.low, e.high) for e in points]
+            for name, points in series.series.items()
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke scale (fewer patterns per batch)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required scalar/batched wall-time ratio "
+                             "(default 5.0)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed pairs (default 3, quick 2)")
+    parser.add_argument("--backend", default="numpy",
+                        help="array API backend for the batched side")
+    parser.add_argument("--out", default=None,
+                        help="write sweep table + verdict JSON here")
+    args = parser.parse_args(argv)
+    if args.min_speedup <= 0:
+        parser.error("--min-speedup must be > 0")
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    registry = builtin_registry()
+    batched = registry.get(BATCHED)
+    scalar = registry.get(SCALAR)
+    config = BenchConfig(quick=args.quick, backend=args.backend)
+
+    # warm-ups double as the equivalence check: same seeds, same series.
+    batched_series = batched.run(config)
+    scalar_series = scalar.run(config)
+    same = _snapshot(batched_series) == _snapshot(scalar_series)
+
+    scalar_times: list[float] = []
+    batched_times: list[float] = []
+    if same:
+        for _ in range(repeats):
+            scalar_times.append(_timed(scalar.run, config)[0])
+            batched_times.append(_timed(batched.run, config)[0])
+
+    best_scalar = min(scalar_times, default=float("nan"))
+    best_batched = min(batched_times, default=float("nan"))
+    speedup = best_scalar / best_batched if same else 0.0
+    ok = same and speedup >= args.min_speedup
+
+    if args.out:
+        payload = {
+            "batched_workload": BATCHED,
+            "scalar_workload": SCALAR,
+            "quick": args.quick,
+            "backend": args.backend,
+            "series_match": same,
+            "scalar_best_s": best_scalar,
+            "batched_best_s": best_batched,
+            "speedup": speedup,
+            "min_speedup": args.min_speedup,
+            "ok": ok,
+            "sweep": _snapshot(batched_series),
+        }
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+
+    if not same:
+        print("FAIL: batched sweep diverged from the scalar series")
+        return 1
+    print(
+        f"{SCALAR} vs {BATCHED}: {repeats} interleaved pairs, "
+        f"best {best_scalar * 1e3:.1f}ms -> {best_batched * 1e3:.1f}ms "
+        f"(x{speedup:.2f}, gate x{args.min_speedup:.1f})"
+    )
+    if not ok:
+        print("FAIL: batched engine is under the speedup gate")
+        return 1
+    print("OK: batched engine clears the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ class BenchConfig:
     quick: bool = False
     repeats: int | None = None  # None: per-workload default
     seed: int = 2002
+    backend: str = "numpy"  # array API backend for batched-engine workloads
 
 
 def run_benchmarks(
@@ -127,24 +128,37 @@ def compare_results(
     A workload regresses when its p50 wall-time exceeds the baseline's by
     more than ``tolerance`` (relative: 0.15 allows up to 1.15x).  Returns
     ``(report_lines, regressed_names)`` -- the caller decides the exit
-    code.  Workloads present on only one side are reported but never
-    regress: adding or retiring a workload must not break the gate.
+    code.  Workloads present in only one file are reported as ``added`` /
+    ``removed`` (with whatever p50 is known) but never regress: adding or
+    retiring a workload must not break the gate.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be >= 0")
+
+    def p50_of(entry: dict[str, Any]) -> float | None:
+        return (entry.get("wall_time_s") or {}).get("p50")
+
+    def with_p50(entry: dict[str, Any]) -> str:
+        p50 = p50_of(entry)
+        return "no wall-time recorded" if p50 is None else f"p50 {p50 * 1e3:.2f}ms"
+
     old_workloads = old.get("workloads", {})
     new_workloads = new.get("workloads", {})
     lines: list[str] = []
     regressed: list[str] = []
     for name in sorted(set(old_workloads) | set(new_workloads)):
         if name not in new_workloads:
-            lines.append(f"~ {name}: in baseline only (workload retired?)")
+            lines.append(
+                f"- {name}: removed (in baseline only, {with_p50(old_workloads[name])})"
+            )
             continue
         if name not in old_workloads:
-            lines.append(f"+ {name}: new workload, no baseline")
+            lines.append(
+                f"+ {name}: added (no baseline, {with_p50(new_workloads[name])})"
+            )
             continue
-        old_p50 = (old_workloads[name].get("wall_time_s") or {}).get("p50")
-        new_p50 = (new_workloads[name].get("wall_time_s") or {}).get("p50")
+        old_p50 = p50_of(old_workloads[name])
+        new_p50 = p50_of(new_workloads[name])
         if not old_p50 or new_p50 is None:
             lines.append(f"~ {name}: no comparable wall-time")
             continue

@@ -148,6 +148,56 @@ def builtin_registry() -> BenchRegistry:
     def run_conditions_parallel(state):
         return _conditions_sweep(state, workers=2)
 
+    def _pattern_engine_config(config: Any):
+        """The batched-vs-scalar gate config: small dense meshes, where the
+        per-pattern python overhead the batched engine removes dominates.
+        Both engines consume the identical seeds, so the p50 ratio between
+        the two workloads below *is* the lockstep speedup."""
+        import dataclasses
+
+        from repro.experiments import ExperimentConfig
+
+        patterns = 64 if config.quick else 128
+        base = ExperimentConfig.scaled(
+            40, patterns, 15, seed=config.seed
+        )
+        return dataclasses.replace(
+            base,
+            fault_counts=tuple(4 * count for count in base.fault_counts),
+            strategy_pivot_levels=1,
+        )
+
+    def _pattern_engine_sweep(config: Any, engine: str):
+        from repro.experiments.figures import fig9_block_metrics
+        from repro.experiments.runner import ConditionExperiment
+
+        experiment = ConditionExperiment(
+            _pattern_engine_config(config), metrics_factory=fig9_block_metrics
+        )
+        backend = getattr(config, "backend", "numpy")
+        return experiment.run(
+            "fig9", "conditions, pattern-engine gate", engine=engine,
+            backend=backend if engine != "scalar" else "numpy",
+        )
+
+    @registry.register(
+        "macro.conditions_batched_patterns", kind="macro",
+        description="fig9 block-model sweep, whole fault-count batches stacked "
+                    "into (batch, n, m) grids and decided in one array pass",
+        repeats=3, quick_repeats=1,
+    )
+    def run_conditions_batched_patterns(state):
+        return _pattern_engine_sweep(state, engine="batched")
+
+    @registry.register(
+        "macro.conditions_per_pattern", kind="macro",
+        description="the identical sweep (same seeds) forced down the "
+                    "per-pattern scalar path: the batched engine's baseline",
+        repeats=3, quick_repeats=1,
+    )
+    def run_conditions_per_pattern(state):
+        return _pattern_engine_sweep(state, engine="scalar")
+
     @registry.register(
         "macro.protocol_formation", kind="macro",
         description="distributed block formation + ESL propagation on one scenario",

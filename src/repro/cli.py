@@ -77,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the condition sweeps fig9-fig12 "
         "(default 1; results are identical at any worker count)",
     )
+    figures.add_argument(
+        "--engine", choices=["auto", "batched", "scalar"], default="auto",
+        help="shard evaluator for fig9-fig12: 'batched' stacks each shard's "
+        "fault patterns and runs the cross-pattern kernels, 'scalar' loops "
+        "per pattern; results are bit-identical (default: auto = batched)",
+    )
+    figures.add_argument(
+        "--backend", choices=["numpy", "strict", "cupy", "torch"], default="numpy",
+        help="array API backend for the batched engine (default: numpy)",
+    )
 
     scenario = sub.add_parser("scenario", help="render a random fault scenario")
     _common_scenario_args(scenario)
@@ -275,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative p50 wall-time tolerance for --compare (default 0.15)",
     )
     bench.add_argument("--seed", type=int, default=2002, help="workload seed")
+    bench.add_argument(
+        "--backend", choices=["numpy", "strict", "cupy", "torch"], default="numpy",
+        help="array API backend for the batched-engine workloads (default: numpy)",
+    )
 
     protocols = sub.add_parser("protocols", help="distributed info-formation costs")
     _common_scenario_args(protocols)
@@ -287,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--sides", type=int, nargs="+", default=[40, 60, 80], help="mesh sides to sweep"
     )
     sweep.add_argument("--patterns", type=int, default=6, help="patterns per side")
+    sweep.add_argument(
+        "--backend", choices=["numpy", "strict", "cupy", "torch"], default="numpy",
+        help="array API backend for the batched sweep engine (default: numpy)",
+    )
     return parser
 
 
@@ -360,7 +378,11 @@ def _cmd_figures(args, out: Callable[[str], None]) -> int:
     sharded = {"fig9", "fig10", "fig11", "fig12"}
     out(config.describe())
     for name in wanted:
-        kwargs = {"workers": args.workers} if name in sharded else {}
+        kwargs = (
+            {"workers": args.workers, "engine": args.engine, "backend": args.backend}
+            if name in sharded
+            else {}
+        )
         series = runners[name](config, progress=lambda msg: out(f"  {msg}"), **kwargs)
         out(series.render(with_plot=args.plot))
         if args.csv:
@@ -791,7 +813,9 @@ def _cmd_bench(args, out: Callable[[str], None]) -> int:
         return 0
 
     workloads = registry.select(args.only)
-    config = BenchConfig(quick=args.quick, repeats=args.repeats, seed=args.seed)
+    config = BenchConfig(
+        quick=args.quick, repeats=args.repeats, seed=args.seed, backend=args.backend
+    )
     result = run_benchmarks(workloads, config, progress=out)
     if not args.no_write:
         path = args.out if args.out is not None else next_bench_path()
@@ -1128,7 +1152,9 @@ def _cmd_memory(args, out: Callable[[str], None]) -> int:
 def _cmd_sweep(args, out: Callable[[str], None]) -> int:
     from repro.experiments.sweeps import mesh_size_sweep
 
-    series = mesh_size_sweep(sides=tuple(args.sides), patterns_per_side=args.patterns)
+    series = mesh_size_sweep(
+        sides=tuple(args.sides), patterns_per_side=args.patterns, backend=args.backend
+    )
     out(series.to_table())
     return 0
 

@@ -1,0 +1,430 @@
+"""Array API standard plumbing for the batched pattern kernels.
+
+The kernels in :mod:`repro.core.batched_patterns` are written against the
+Python array API standard (https://data-apis.org/array-api/): they obtain
+their namespace from their inputs via :func:`array_namespace` and call only
+standard functions on it, so numpy is merely the *default* backend -- a
+CuPy or torch array flows through the same code unchanged.
+
+Because neither ``array-api-compat`` nor ``array-api-strict`` is a
+dependency, this module supplies the two pieces the project needs itself:
+
+- :func:`array_namespace` / :func:`resolve_backend` / :func:`to_numpy` --
+  the dispatch idiom;
+- :func:`strict_namespace` -- a minimal *strict* wrapper namespace over
+  numpy.  Its arrays expose only standard attributes and reject numpy-only
+  idioms (integer fancy indexing, ufunc method access, implicit
+  ``__array__`` conversion), so running the kernel suite under it proves
+  no numpy-only calls leak into the batched hot path (see
+  ``tests/test_array_api_strict.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "StrictArray",
+    "array_namespace",
+    "resolve_backend",
+    "strict_namespace",
+    "to_numpy",
+]
+
+#: Backend names accepted by :func:`resolve_backend` (and the CLI
+#: ``--backend`` flags).  ``cupy``/``torch`` are gated on importability.
+BACKENDS = ("numpy", "strict", "cupy", "torch")
+
+
+def array_namespace(*arrays: Any) -> Any:
+    """The array API namespace shared by ``arrays``.
+
+    Mirrors ``array_api_compat.array_namespace``: every argument carrying
+    ``__array_namespace__`` must agree on the namespace; plain Python
+    scalars are ignored.  With no namespaced argument at all, numpy is
+    returned (the project default).
+    """
+    namespace: Any = None
+    for array in arrays:
+        probe = getattr(array, "__array_namespace__", None)
+        if probe is None:
+            continue
+        candidate = probe()
+        if namespace is None:
+            namespace = candidate
+        elif candidate is not namespace:
+            raise TypeError(
+                f"mixed array namespaces: {namespace!r} and {candidate!r}"
+            )
+    return namespace if namespace is not None else np
+
+
+def resolve_backend(name: str) -> Any:
+    """Map a ``--backend`` name to an array API namespace.
+
+    ``numpy`` (the default) and ``strict`` (the numpy-backed strict
+    wrapper) always work; ``cupy`` and ``torch`` resolve only when the
+    package is importable, with a clear error otherwise -- the container
+    image does not ship them, and nothing may be installed at run time.
+    """
+    if name == "numpy":
+        return np
+    if name == "strict":
+        return strict_namespace()
+    if name in ("cupy", "torch"):
+        try:
+            module = __import__(name)
+        except ImportError as error:
+            raise RuntimeError(
+                f"backend {name!r} requested but the {name} package is not "
+                f"installed; available backends here: numpy, strict"
+            ) from error
+        return module
+    raise ValueError(f"unknown backend {name!r} (choose from {', '.join(BACKENDS)})")
+
+
+def to_numpy(array: Any) -> np.ndarray:
+    """A numpy view/copy of any backend's array (host transfer if needed)."""
+    if isinstance(array, StrictArray):
+        return array._array
+    try:
+        return np.asarray(array)
+    except (TypeError, ValueError):
+        # CuPy-style device arrays expose .get() for the host copy.
+        get = getattr(array, "get", None)
+        if get is not None:
+            return np.asarray(get())
+        raise
+
+
+# ----------------------------------------------------------------------
+# Strict wrapper: numpy underneath, standard surface only
+# ----------------------------------------------------------------------
+
+_INTEGER_KINDS = ("i", "u")
+
+
+def _is_standard_index_component(item: Any) -> bool:
+    return item is None or item is Ellipsis or isinstance(item, (int, np.integer, slice))
+
+
+class StrictArray:
+    """A numpy array restricted to the array API standard's surface.
+
+    Only standard attributes (``shape``, ``dtype``, ``ndim``, ``size``,
+    ``device``, ``mT``, ``T``) and operator dunders exist; arithmetic with
+    raw :class:`numpy.ndarray` operands raises, as does integer-array
+    fancy indexing (the standard routes gathers through ``take`` /
+    ``take_along_axis``).  There is deliberately no ``__array__``, so any
+    stray ``np.<func>(strict_array)`` call fails loudly instead of
+    silently unwrapping.
+    """
+
+    __slots__ = ("_array", "_namespace")
+
+    def __init__(self, array: np.ndarray, namespace: "StrictNamespace"):
+        self._array = array
+        self._namespace = namespace
+
+    # -- standard attributes ------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self._array.ndim
+
+    @property
+    def size(self) -> int:
+        return self._array.size
+
+    @property
+    def device(self) -> str:
+        return "cpu"
+
+    @property
+    def mT(self) -> "StrictArray":  # noqa: N802 - standard attribute name
+        return self._wrap(np.swapaxes(self._array, -1, -2))
+
+    @property
+    def T(self) -> "StrictArray":  # noqa: N802 - standard attribute name
+        return self._wrap(self._array.T)
+
+    def __array_namespace__(self, api_version: str | None = None) -> "StrictNamespace":
+        return self._namespace
+
+    def __getattr__(self, name: str) -> Any:
+        raise AttributeError(
+            f"StrictArray has no attribute {name!r}: it is not part of the "
+            f"array API standard's array object"
+        )
+
+    # -- helpers ------------------------------------------------------
+    def _wrap(self, array: Any) -> "StrictArray":
+        return StrictArray(np.asarray(array), self._namespace)
+
+    def _unwrap_operand(self, other: Any) -> Any:
+        if isinstance(other, StrictArray):
+            return other._array
+        if isinstance(other, (bool, int, float, np.bool_, np.integer, np.floating)):
+            return other
+        raise TypeError(
+            f"strict arrays only operate with strict arrays or Python "
+            f"scalars, got {type(other).__name__}"
+        )
+
+    def _validate_index(self, index: Any) -> Any:
+        components = index if isinstance(index, tuple) else (index,)
+        unwrapped: list[Any] = []
+        for item in components:
+            if isinstance(item, StrictArray):
+                if item.dtype != np.bool_:
+                    raise IndexError(
+                        "integer array indexing is not part of the array API "
+                        "standard; use take/take_along_axis"
+                    )
+                if len(components) != 1:
+                    raise IndexError(
+                        "a boolean mask must be the sole index in the standard"
+                    )
+                unwrapped.append(item._array)
+            elif _is_standard_index_component(item):
+                unwrapped.append(item)
+            else:
+                raise IndexError(
+                    f"non-standard index component {type(item).__name__}"
+                )
+        return tuple(unwrapped) if isinstance(index, tuple) else unwrapped[0]
+
+    # -- indexing -----------------------------------------------------
+    def __getitem__(self, index: Any) -> "StrictArray":
+        return self._wrap(self._array[self._validate_index(index)])
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._array[self._validate_index(index)] = self._unwrap_operand(value)
+
+    # -- conversions --------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self._array)
+
+    def __int__(self) -> int:
+        return int(self._array)
+
+    def __float__(self) -> float:
+        return float(self._array)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __repr__(self) -> str:
+        return f"StrictArray({self._array!r})"
+
+    # -- operators ----------------------------------------------------
+    def __invert__(self) -> "StrictArray":
+        return self._wrap(~self._array)
+
+    def __neg__(self) -> "StrictArray":
+        return self._wrap(-self._array)
+
+    def __abs__(self) -> "StrictArray":
+        return self._wrap(abs(self._array))
+
+
+def _install_operators() -> None:
+    forward = (
+        "__add__", "__sub__", "__mul__", "__floordiv__", "__truediv__",
+        "__mod__", "__pow__", "__and__", "__or__", "__xor__",
+        "__lt__", "__le__", "__gt__", "__ge__", "__eq__", "__ne__",
+        "__lshift__", "__rshift__",
+    )
+    for name in forward:
+        def make(op_name):
+            def op(self: StrictArray, other: Any) -> StrictArray:
+                operand = self._unwrap_operand(other)
+                return self._wrap(getattr(self._array, op_name)(operand))
+
+            op.__name__ = op_name
+            return op
+
+        setattr(StrictArray, name, make(name))
+    reflected = (
+        "__radd__", "__rsub__", "__rmul__", "__rfloordiv__", "__rtruediv__",
+        "__rand__", "__ror__", "__rxor__",
+    )
+    for name in reflected:
+        def make_r(op_name):
+            def op(self: StrictArray, other: Any) -> StrictArray:
+                operand = self._unwrap_operand(other)
+                return self._wrap(getattr(self._array, op_name)(operand))
+
+            op.__name__ = op_name
+            return op
+
+        setattr(StrictArray, name, make_r(name))
+
+
+_install_operators()
+
+
+class StrictNamespace:
+    """The function side of the strict wrapper.
+
+    Exposes exactly the standard functions the project's kernels use,
+    mapped onto numpy (with the standard's names: ``concat``,
+    ``permute_dims``, ``astype``, ``cumulative_sum`` ...).  Anything else
+    raises ``AttributeError`` -- reaching for ``xp.vstack`` or
+    ``xp.minimum.accumulate`` inside a kernel fails the strict suite.
+    """
+
+    bool = np.bool_
+    int64 = np.int64
+    int32 = np.int32
+    float64 = np.float64
+
+    def __repr__(self) -> str:
+        return "StrictNamespace()"
+
+    # -- wrap/unwrap helpers ------------------------------------------
+    def _wrap(self, array: Any) -> StrictArray:
+        return StrictArray(np.asarray(array), self)
+
+    def _unwrap(self, value: Any) -> Any:
+        if isinstance(value, StrictArray):
+            return value._array
+        if isinstance(value, (list, tuple)):
+            return type(value)(self._unwrap(item) for item in value)
+        return value
+
+    def _call(self, fn, *args, **kwargs) -> StrictArray:
+        return self._wrap(fn(*(self._unwrap(a) for a in args),
+                             **{k: self._unwrap(v) for k, v in kwargs.items()}))
+
+    # -- creation -----------------------------------------------------
+    def asarray(self, obj: Any, dtype: Any = None, copy: bool | None = None) -> StrictArray:
+        return self._wrap(np.asarray(self._unwrap(obj), dtype=dtype))
+
+    def zeros(self, shape: Any, dtype: Any = None) -> StrictArray:
+        return self._wrap(np.zeros(shape, dtype=dtype if dtype is not None else np.float64))
+
+    def zeros_like(self, x: Any, dtype: Any = None) -> StrictArray:
+        return self._call(np.zeros_like, x, dtype=dtype)
+
+    def ones(self, shape: Any, dtype: Any = None) -> StrictArray:
+        return self._wrap(np.ones(shape, dtype=dtype if dtype is not None else np.float64))
+
+    def ones_like(self, x: Any, dtype: Any = None) -> StrictArray:
+        return self._call(np.ones_like, x, dtype=dtype)
+
+    def full(self, shape: Any, fill_value: Any, dtype: Any = None) -> StrictArray:
+        return self._wrap(np.full(shape, fill_value, dtype=dtype))
+
+    def arange(self, start: Any, stop: Any = None, step: Any = 1, dtype: Any = None) -> StrictArray:
+        if stop is None:
+            return self._wrap(np.arange(start, dtype=dtype))
+        return self._wrap(np.arange(start, stop, step, dtype=dtype))
+
+    # -- manipulation -------------------------------------------------
+    def reshape(self, x: Any, shape: tuple[int, ...]) -> StrictArray:
+        return self._call(np.reshape, x, shape)
+
+    def concat(self, arrays: Iterable[Any], axis: int | None = 0) -> StrictArray:
+        return self._wrap(np.concatenate([self._unwrap(a) for a in arrays], axis=axis))
+
+    def stack(self, arrays: Iterable[Any], axis: int = 0) -> StrictArray:
+        return self._wrap(np.stack([self._unwrap(a) for a in arrays], axis=axis))
+
+    def flip(self, x: Any, axis: int | None = None) -> StrictArray:
+        return self._call(np.flip, x, axis=axis)
+
+    def permute_dims(self, x: Any, axes: tuple[int, ...]) -> StrictArray:
+        return self._call(np.transpose, x, axes)
+
+    def expand_dims(self, x: Any, axis: int = 0) -> StrictArray:
+        return self._call(np.expand_dims, x, axis=axis)
+
+    def broadcast_to(self, x: Any, shape: tuple[int, ...]) -> StrictArray:
+        return self._call(np.broadcast_to, x, shape)
+
+    def astype(self, x: Any, dtype: Any, copy: bool = True) -> StrictArray:
+        return self._wrap(self._unwrap(x).astype(dtype, copy=copy))
+
+    # -- elementwise --------------------------------------------------
+    def where(self, condition: Any, x: Any, y: Any) -> StrictArray:
+        return self._call(np.where, condition, x, y)
+
+    def minimum(self, x: Any, y: Any) -> StrictArray:
+        return self._call(np.minimum, x, y)
+
+    def maximum(self, x: Any, y: Any) -> StrictArray:
+        return self._call(np.maximum, x, y)
+
+    def clip(self, x: Any, min: Any = None, max: Any = None) -> StrictArray:
+        return self._call(np.clip, x, min, max)
+
+    def abs(self, x: Any) -> StrictArray:
+        return self._call(np.abs, x)
+
+    def logical_and(self, x: Any, y: Any) -> StrictArray:
+        return self._call(np.logical_and, x, y)
+
+    def logical_or(self, x: Any, y: Any) -> StrictArray:
+        return self._call(np.logical_or, x, y)
+
+    def logical_not(self, x: Any) -> StrictArray:
+        return self._call(np.logical_not, x)
+
+    def equal(self, x: Any, y: Any) -> StrictArray:
+        return self._call(np.equal, x, y)
+
+    # -- reductions / scans -------------------------------------------
+    def any(self, x: Any, axis: Any = None, keepdims: bool = False) -> StrictArray:
+        return self._call(np.any, x, axis=axis, keepdims=keepdims)
+
+    def all(self, x: Any, axis: Any = None, keepdims: bool = False) -> StrictArray:
+        return self._call(np.all, x, axis=axis, keepdims=keepdims)
+
+    def sum(self, x: Any, axis: Any = None, dtype: Any = None, keepdims: bool = False) -> StrictArray:
+        return self._call(np.sum, x, axis=axis, dtype=dtype, keepdims=keepdims)
+
+    def max(self, x: Any, axis: Any = None, keepdims: bool = False) -> StrictArray:
+        return self._call(np.max, x, axis=axis, keepdims=keepdims)
+
+    def min(self, x: Any, axis: Any = None, keepdims: bool = False) -> StrictArray:
+        return self._call(np.min, x, axis=axis, keepdims=keepdims)
+
+    def cumulative_sum(self, x: Any, axis: int | None = None, dtype: Any = None) -> StrictArray:
+        unwrapped = self._unwrap(x)
+        if axis is None:
+            if unwrapped.ndim != 1:
+                raise ValueError("cumulative_sum without axis requires a 1-D array")
+            axis = 0
+        return self._wrap(np.cumsum(unwrapped, axis=axis, dtype=dtype))
+
+    def argmax(self, x: Any, axis: int | None = None, keepdims: bool = False) -> StrictArray:
+        return self._call(np.argmax, x, axis=axis, keepdims=keepdims)
+
+    # -- indexing functions -------------------------------------------
+    def take(self, x: Any, indices: Any, axis: int | None = None) -> StrictArray:
+        return self._call(np.take, x, indices, axis=axis)
+
+    def take_along_axis(self, x: Any, indices: Any, axis: int = -1) -> StrictArray:
+        return self._call(np.take_along_axis, x, indices, axis=axis)
+
+
+_STRICT_SINGLETON: StrictNamespace | None = None
+
+
+def strict_namespace() -> StrictNamespace:
+    """The process-wide strict wrapper namespace (numpy underneath)."""
+    global _STRICT_SINGLETON
+    if _STRICT_SINGLETON is None:
+        _STRICT_SINGLETON = StrictNamespace()
+    return _STRICT_SINGLETON

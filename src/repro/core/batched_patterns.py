@@ -1,0 +1,638 @@
+"""Cross-pattern batched kernels: thousands of fault patterns in lockstep.
+
+:mod:`repro.core.batched` vectorises the safe-condition decisions *within*
+one fault pattern; this module vectorises them *across* patterns.  Every
+kernel takes stacked ``(batch, n, m)`` grids (one fault pattern per leading
+index) and computes faulty-block formation, ESL grids, monotone
+reachability, and the Def-3 / Extension 1-3 conditions for all patterns in
+one array-program pass -- the Python-level per-pattern loop that bounds the
+figure sweeps disappears.
+
+The kernels are written against the Python array API standard: each one
+obtains its namespace with ``xp = array_namespace(...)`` and calls only
+standard functions/operators on it, so numpy is just the default backend --
+CuPy or torch arrays flow through unchanged, and the strict wrapper in
+:mod:`repro.core.array_api` proves no numpy-only idiom leaks in.  Two
+consequences shape the implementations:
+
+- ``minimum.accumulate`` / ``maximum.accumulate`` are numpy ufunc methods,
+  not standard functions, so the running extrema behind the ESL scans and
+  the reachability column DP use a Hillis-Steele doubling scan
+  (``log2(n)`` shifted-``maximum`` passes);
+- integer fancy indexing is not standard, so pivot/destination gathers go
+  through ``take`` / ``take_along_axis`` on flattened grids.
+
+Element-wise equivalence with the scalar implementations
+(:func:`repro.faults.blocks.disable_fixpoint`,
+:func:`repro.core.safety.compute_safety_levels`, the decision procedures in
+:mod:`repro.core.conditions` / :mod:`repro.core.extensions`, and
+:func:`repro.faults.coverage.minimal_path_exists`) is asserted bit-for-bit
+by ``tests/test_batched_patterns.py`` over exhaustive small meshes and
+seeded random large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.array_api import array_namespace
+from repro.core.safety import UNBOUNDED
+from repro.mesh.geometry import Coord
+
+__all__ = [
+    "BatchedSafetyLevels",
+    "batch_disable_fixpoint",
+    "batch_pattern_extension1",
+    "batch_pattern_extension2",
+    "batch_pattern_extension3",
+    "batch_pattern_is_safe",
+    "batch_pattern_path_exists",
+    "batch_reachability_map",
+    "batch_safety_levels",
+    "build_axis_sample_table",
+]
+
+Array = Any  # any array-API-compliant array
+
+
+# ----------------------------------------------------------------------
+# Scan primitives (standard ops only)
+# ----------------------------------------------------------------------
+
+
+def _cummax_last(xp: Any, a: Array) -> Array:
+    """Inclusive running maximum along the last axis.
+
+    ``out[..., i] = max(a[..., 0:i+1])``.  The standard has no
+    ``maximum.accumulate``, so the generic path is a Hillis-Steele
+    doubling scan -- ``ceil(log2(n))`` passes of shifted ``maximum`` +
+    ``concat``; on the numpy backend the ufunc method is a single pass
+    and several times faster, so it gets a dispatch (the strict-wrapper
+    tests keep the generic path honest).
+    """
+    if xp is np:
+        return np.maximum.accumulate(a, axis=-1)
+    n = a.shape[-1]
+    shift = 1
+    while shift < n:
+        a = xp.concat(
+            [a[..., :shift], xp.maximum(a[..., shift:], a[..., :-shift])], axis=-1
+        )
+        shift *= 2
+    return a
+
+
+def _cummin_last(xp: Any, a: Array) -> Array:
+    if xp is np:
+        return np.minimum.accumulate(a, axis=-1)
+    return -_cummax_last(xp, -a)
+
+
+# ----------------------------------------------------------------------
+# Faulty-block formation (Definition 1) as a batched masked iteration
+# ----------------------------------------------------------------------
+
+
+def _shifted_batch(xp: Any, mask: Array, dx: int, dy: int) -> Array:
+    """``out[b, x, y] = mask[b, x + dx, y + dy]``, out-of-range reads False."""
+    n, m = mask.shape[-2], mask.shape[-1]
+    out = xp.zeros_like(mask)
+    xsrc = slice(max(dx, 0), n + min(dx, 0))
+    xdst = slice(max(-dx, 0), n + min(-dx, 0))
+    ysrc = slice(max(dy, 0), m + min(dy, 0))
+    ydst = slice(max(-dy, 0), m + min(-dy, 0))
+    out[..., xdst, ydst] = mask[..., xsrc, ysrc]
+    return out
+
+
+def batch_disable_fixpoint(faulty: Array) -> Array:
+    """Definition 1's disabling rule over a ``(batch, n, m)`` fault stack.
+
+    ``out[b]`` is bit-identical to ``disable_fixpoint(faulty[b])``: a
+    healthy node becomes disabled when it has an unusable neighbour in the
+    x dimension *and* one in the y dimension, iterated to a fixpoint.  The
+    iteration runs all patterns in lockstep until none changes; scattered
+    faults (the paper's regime) converge in a handful of rounds.
+    """
+    xp = array_namespace(faulty)
+    unusable = faulty
+    while True:
+        horizontal = _shifted_batch(xp, unusable, 1, 0) | _shifted_batch(xp, unusable, -1, 0)
+        vertical = _shifted_batch(xp, unusable, 0, 1) | _shifted_batch(xp, unusable, 0, -1)
+        grown = unusable | (horizontal & vertical)
+        if not bool(xp.any(grown ^ unusable)):
+            return grown
+        unusable = grown
+
+
+# ----------------------------------------------------------------------
+# ESL grids (batched row scans generalising compute_safety_levels)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchedSafetyLevels:
+    """Per-pattern ESL grids: each field is ``(batch, n, m)`` int64.
+
+    ``grids[b]`` equals the corresponding grid of
+    ``compute_safety_levels(mesh, blocked[b])`` element for element.
+    """
+
+    east: Array
+    south: Array
+    west: Array
+    north: Array
+
+
+def _axis_scans_last(xp: Any, blocked: Array, big: int) -> tuple[Array, Array]:
+    """Clear distances toward +axis / -axis along the *last* axis.
+
+    The batched form of :func:`repro.core.safety._axis_scans`: find the
+    nearest blocked index at-or-after (suffix running minimum) and
+    at-or-before (prefix running maximum) every cell, shift by one to make
+    the search strict, and cap at :data:`UNBOUNDED`.
+    """
+    small = -big
+    n = blocked.shape[-1]
+    idx = xp.arange(n, dtype=xp.int64)
+    pos = xp.where(blocked, idx, big)
+    neg = xp.where(blocked, idx, small)
+    nearest_above = xp.flip(_cummin_last(xp, xp.flip(pos, axis=-1)), axis=-1)
+    nearest_below = _cummax_last(xp, neg)
+    pad_shape = blocked.shape[:-1] + (1,)
+    pad_hi = xp.full(pad_shape, big, dtype=xp.int64)
+    pad_lo = xp.full(pad_shape, small, dtype=xp.int64)
+    nearest_pos = xp.concat([nearest_above[..., 1:], pad_hi], axis=-1)
+    nearest_neg = xp.concat([pad_lo, nearest_below[..., :-1]], axis=-1)
+    toward_pos = xp.minimum(nearest_pos - idx - 1, UNBOUNDED)
+    toward_neg = xp.minimum(idx - nearest_neg - 1, UNBOUNDED)
+    return toward_pos, toward_neg
+
+
+def _axis_scans_np(blocked: Array, big: int, axis: int) -> tuple[Array, Array]:
+    """Numpy fast path of :func:`_axis_scans_last` along an arbitrary axis.
+
+    Scanning the x axis in place (instead of permuting it to the back)
+    keeps every elementwise pass contiguous, which is worth ~2x on the
+    grids the experiment engine feeds through here.
+    """
+    n = blocked.shape[axis]
+    shape = [1] * blocked.ndim
+    shape[axis] = n
+    idx = np.arange(n, dtype=np.int64).reshape(shape)
+    pos = np.where(blocked, idx, big)
+    neg = np.where(blocked, idx, -big)
+    nearest_above = np.flip(
+        np.minimum.accumulate(np.flip(pos, axis=axis), axis=axis), axis=axis
+    )
+    nearest_below = np.maximum.accumulate(neg, axis=axis)
+    pad_shape = list(blocked.shape)
+    pad_shape[axis] = 1
+    pad_hi = np.full(pad_shape, big, dtype=np.int64)
+    pad_lo = np.full(pad_shape, -big, dtype=np.int64)
+    tail = [slice(None)] * blocked.ndim
+    tail[axis] = slice(1, None)
+    head = [slice(None)] * blocked.ndim
+    head[axis] = slice(None, -1)
+    nearest_pos = np.concatenate([nearest_above[tuple(tail)], pad_hi], axis=axis)
+    nearest_neg = np.concatenate([pad_lo, nearest_below[tuple(head)]], axis=axis)
+    toward_pos = np.minimum(nearest_pos - idx - 1, UNBOUNDED)
+    toward_neg = np.minimum(idx - nearest_neg - 1, UNBOUNDED)
+    return toward_pos, toward_neg
+
+
+def batch_safety_levels(blocked: Array) -> BatchedSafetyLevels:
+    """ESL grids for every pattern of a ``(batch, n, m)`` blocked stack."""
+    xp = array_namespace(blocked)
+    n, m = blocked.shape[-2], blocked.shape[-1]
+    big = UNBOUNDED + n + m  # strictly larger than any index offset
+    if xp is np:
+        east, west = _axis_scans_np(blocked, big, axis=1)
+        north, south = _axis_scans_np(blocked, big, axis=2)
+        return BatchedSafetyLevels(east=east, south=south, west=west, north=north)
+    # East/West scan along x: bring x to the last axis.
+    by_x = xp.permute_dims(blocked, (0, 2, 1))
+    east_t, west_t = _axis_scans_last(xp, by_x, big)
+    east = xp.permute_dims(east_t, (0, 2, 1))
+    west = xp.permute_dims(west_t, (0, 2, 1))
+    # North/South scan along y: already the last axis.
+    north, south = _axis_scans_last(xp, blocked, big)
+    return BatchedSafetyLevels(east=east, south=south, west=west, north=north)
+
+
+# ----------------------------------------------------------------------
+# Shared per-destination helpers
+# ----------------------------------------------------------------------
+
+
+def _dest_offsets(xp: Any, source: Coord, dests: Array) -> tuple[Array, Array, Array, Array]:
+    """``(dx, dy, xd, yd)``, each ``(batch, k)``, for ``(batch, k, 2)`` dests."""
+    dx = dests[:, :, 0] - source[0]
+    dy = dests[:, :, 1] - source[1]
+    return dx, dy, xp.abs(dx), xp.abs(dy)
+
+
+def _node_esl(levels: BatchedSafetyLevels, node: Coord) -> tuple[Array, Array, Array, Array]:
+    """One node's ``(E, S, W, N)`` across the batch, each ``(batch,)``."""
+    x, y = node
+    return (
+        levels.east[:, x, y],
+        levels.south[:, x, y],
+        levels.west[:, x, y],
+        levels.north[:, x, y],
+    )
+
+
+def _safe_from(
+    xp: Any, levels: BatchedSafetyLevels, origin: Coord, dx: Array, dy: Array,
+    xd: Array, yd: Array,
+) -> Array:
+    """Definition 3 from ``origin`` toward each destination, ``(batch, k)``.
+
+    The local-frame East entry is the global East distance when the
+    destination lies East-or-level of the origin and the global West
+    distance otherwise (exactly ``Frame.to_local_esl``), mirrored on y.
+    """
+    east, south, west, north = _node_esl(levels, origin)
+    toward_x = xp.where(dx >= 0, east[:, None], west[:, None])
+    toward_y = xp.where(dy >= 0, north[:, None], south[:, None])
+    return (xd <= toward_x) & (yd <= toward_y)
+
+
+def batch_pattern_is_safe(
+    levels: BatchedSafetyLevels, source: Coord, dests: Array
+) -> Array:
+    """Definition 3 across patterns: ``mask[b, i]`` equals
+    ``is_safe(levels_b, source, dests[b, i])``."""
+    xp = array_namespace(dests)
+    dx, dy, xd, yd = _dest_offsets(xp, source, dests)
+    return _safe_from(xp, levels, source, dx, dy, xd, yd)
+
+
+# ----------------------------------------------------------------------
+# Extension 1 (Theorem 1a)
+# ----------------------------------------------------------------------
+
+
+def batch_pattern_extension1(
+    unusable: Array,
+    levels: BatchedSafetyLevels,
+    source: Coord,
+    dests: Array,
+    allow_sub_minimal: bool = True,
+) -> Array:
+    """Theorem 1a across patterns.
+
+    ``mask[b, i]`` equals the scalar decision's ``ensures_minimal``
+    (``allow_sub_minimal=False``) or ``ensures_sub_minimal`` (default) for
+    pattern ``b``.  A neighbour inside pattern ``b``'s faulty blocks is
+    skipped for that pattern only -- the per-pattern generalisation of the
+    scalar kernel's global skip.
+    """
+    xp = array_namespace(unusable)
+    n, m = unusable.shape[-2], unusable.shape[-1]
+    dx, dy, xd, yd = _dest_offsets(xp, source, dests)
+    ensured = _safe_from(xp, levels, source, dx, dy, xd, yd)
+    sx, sy = source
+    for step_x, step_y in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        nx, ny = sx + step_x, sy + step_y
+        if not (0 <= nx < n and 0 <= ny < m):
+            continue
+        if step_x:
+            preferred = dx > 0 if step_x > 0 else dx < 0
+        else:
+            preferred = dy > 0 if step_y > 0 else dy < 0
+        eligible = xp.ones_like(ensured) if allow_sub_minimal else preferred
+        ndx = dests[:, :, 0] - nx
+        ndy = dests[:, :, 1] - ny
+        neighbor_safe = _safe_from(
+            xp, levels, (nx, ny), ndx, ndy, xp.abs(ndx), xp.abs(ndy)
+        )
+        open_here = ~unusable[:, nx, ny]
+        ensured = ensured | (open_here[:, None] & eligible & neighbor_safe)
+    return ensured
+
+
+# ----------------------------------------------------------------------
+# Extension 2 (Theorem 1b): vectorised segment tables
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AxisSampleTable:
+    """Per-pattern segment representatives for one local axis.
+
+    The batched analogue of :class:`repro.core.segments.RegionSegments`
+    for the experiment's fixed source (identity frame): ``offsets`` and
+    ``perp_levels`` are ``(batch, segments)``; ``valid`` masks segments
+    that are empty for a pattern (region shorter than the window start).
+    """
+
+    offsets: Array
+    perp_levels: Array
+    valid: Array
+
+
+def build_axis_sample_table(
+    xp: Any,
+    line_levels: Array,
+    clear: Array,
+    edge: int,
+    segment_size: int | None,
+) -> AxisSampleTable:
+    """Segment representatives along one axis for every pattern at once.
+
+    ``line_levels[b, k-1]`` is the perpendicular ESL of the node ``k`` hops
+    along the axis (offsets ``1..edge``); ``clear[b]`` the source's clear
+    distance along the axis.  Each global window ``[1..s], [s+1..2s], ...``
+    contributes the in-region offset with the maximal perpendicular level,
+    farthest-offset tie-break -- exactly
+    :func:`repro.core.segments.build_axis_segments` with ``tie_break="far"``
+    (the windows are pattern-independent; only the region length
+    ``min(clear, edge)`` varies per pattern).
+
+    The selection encodes ``score = level * (edge + 2) + offset`` so a
+    single ``argmax`` realises "max level, then max offset": levels are
+    capped at :data:`~repro.core.safety.UNBOUNDED` (``2**30``) and
+    ``edge <= n + m``, so scores stay far inside int64.
+    """
+    if edge == 0:
+        batch = clear.shape[0]
+        empty = xp.zeros((batch, 0), dtype=xp.int64)
+        return AxisSampleTable(
+            offsets=empty, perp_levels=empty,
+            valid=xp.zeros((batch, 0), dtype=xp.bool),
+        )
+    size = edge if segment_size is None else segment_size
+    offsets = xp.arange(1, edge + 1, dtype=xp.int64)
+    length = xp.minimum(clear, edge)[:, None]
+    in_region = offsets <= length
+    scale = edge + 2
+    score = xp.where(in_region, line_levels * scale + offsets, -1)
+    segments = -(-edge // size)
+    pad = segments * size - edge
+    if pad:
+        batch = clear.shape[0]
+        filler = xp.full((batch, pad), -1, dtype=xp.int64)
+        score = xp.concat([score, filler], axis=-1)
+        line_levels = xp.concat([line_levels, filler], axis=-1)
+        offsets = xp.concat(
+            [offsets, xp.arange(edge + 1, edge + pad + 1, dtype=xp.int64)], axis=-1
+        )
+    batch = clear.shape[0]
+    score = xp.reshape(score, (batch, segments, size))
+    levels_w = xp.reshape(line_levels, (batch, segments, size))
+    offsets_w = xp.reshape(
+        xp.broadcast_to(offsets[None, :], (batch, segments * size)),
+        (batch, segments, size),
+    )
+    pick = xp.argmax(score, axis=-1)[:, :, None]
+    best_score = xp.take_along_axis(score, pick, axis=-1)[:, :, 0]
+    return AxisSampleTable(
+        offsets=xp.take_along_axis(offsets_w, pick, axis=-1)[:, :, 0],
+        perp_levels=xp.take_along_axis(levels_w, pick, axis=-1)[:, :, 0],
+        valid=best_score >= 0,
+    )
+
+
+def _table_usable(
+    xp: Any, table: AxisSampleTable, max_offsets: Array, required_levels: Array
+) -> Array:
+    """Some representative has ``offset <= max_offset`` and
+    ``level >= required_level`` -- the batched ``best_for`` existence."""
+    if table.offsets.shape[-1] == 0:
+        return xp.zeros(max_offsets.shape, dtype=xp.bool)
+    usable = (
+        table.valid[:, None, :]
+        & (table.offsets[:, None, :] <= max_offsets[:, :, None])
+        & (table.perp_levels[:, None, :] >= required_levels[:, :, None])
+    )
+    return xp.any(usable, axis=-1)
+
+
+def batch_pattern_extension2(
+    levels: BatchedSafetyLevels,
+    source: Coord,
+    dests: Array,
+    segment_size: int | None,
+    mesh_shape: tuple[int, int],
+    tables: tuple[AxisSampleTable, AxisSampleTable] | None = None,
+) -> Array:
+    """Theorem 1b across patterns.
+
+    ``mask[b, i]`` equals
+    ``extension2_decision_from_segments(...).ensures_minimal`` for pattern
+    ``b`` with segments built for the source's identity frame (the
+    experiment setting: segments are built once per pattern with
+    ``Frame(origin=source)`` and reused for every destination).  Pass
+    ``tables`` (from :func:`build_source_sample_tables`) to reuse the
+    per-size tables across metrics.
+    """
+    xp = array_namespace(dests)
+    dx, dy, xd, yd = _dest_offsets(xp, source, dests)
+    east, south, west, north = _node_esl(levels, source)
+    toward_x = xp.where(dx >= 0, east[:, None], west[:, None])
+    toward_y = xp.where(dy >= 0, north[:, None], south[:, None])
+    source_safe = (xd <= toward_x) & (yd <= toward_y)
+    if tables is None:
+        tables = build_source_sample_tables(levels, source, segment_size, mesh_shape)
+    east_table, north_table = tables
+    x_axis = (xd <= toward_x) & _table_usable(xp, east_table, xd, yd)
+    y_axis = (yd <= toward_y) & _table_usable(xp, north_table, yd, xd)
+    return source_safe | x_axis | y_axis
+
+
+def build_source_sample_tables(
+    levels: BatchedSafetyLevels,
+    source: Coord,
+    segment_size: int | None,
+    mesh_shape: tuple[int, int],
+) -> tuple[AxisSampleTable, AxisSampleTable]:
+    """(East-axis, North-axis) sample tables for the fixed source.
+
+    The identity-frame analogue of ``TrialContext.segments``: the East-axis
+    table samples nodes ``(sx+k, sy)`` with their North levels, the
+    North-axis table nodes ``(sx, sy+k)`` with their East levels.
+    """
+    xp = array_namespace(levels.east)
+    n, m = mesh_shape
+    sx, sy = source
+    east_edge = n - 1 - sx
+    north_edge = m - 1 - sy
+    east_table = build_axis_sample_table(
+        xp,
+        levels.north[:, sx + 1 : sx + east_edge + 1, sy],
+        levels.east[:, sx, sy],
+        east_edge,
+        segment_size,
+    )
+    north_table = build_axis_sample_table(
+        xp,
+        levels.east[:, sx, sy + 1 : sy + north_edge + 1],
+        levels.north[:, sx, sy],
+        north_edge,
+        segment_size,
+    )
+    return east_table, north_table
+
+
+# ----------------------------------------------------------------------
+# Extension 3 (Theorem 1c)
+# ----------------------------------------------------------------------
+
+
+def batch_pattern_extension3(
+    unusable: Array,
+    levels: BatchedSafetyLevels,
+    source: Coord,
+    dests: Array,
+    pivots: Array,
+    pivot_valid: Array | None = None,
+) -> Array:
+    """Theorem 1c across patterns.
+
+    ``pivots`` is ``(p, 2)`` (one pivot list shared by every pattern, e.g.
+    the recursive-centre scheme) or ``(batch, p, 2)`` (per-pattern lists,
+    e.g. the random scheme; pad ragged lists and mask the padding via
+    ``pivot_valid``).  Out-of-mesh pivots must be masked by the caller;
+    pivots inside a pattern's faulty blocks are skipped for that pattern,
+    as in the scalar decision.  ``mask[b, i]`` equals the scalar
+    ``extension3_decision(...).ensures_minimal``.
+    """
+    xp = array_namespace(unusable)
+    n, m = unusable.shape[-2], unusable.shape[-1]
+    batch = unusable.shape[0]
+    dx, dy, xd, yd = _dest_offsets(xp, source, dests)
+    ensured = _safe_from(xp, levels, source, dx, dy, xd, yd)
+    if pivots.shape[-2] == 0:
+        return ensured
+
+    shared = pivots.ndim == 2
+    if shared:
+        pivots = xp.broadcast_to(pivots[None, :, :], (batch,) + pivots.shape)
+    px = pivots[:, :, 0]
+    py = pivots[:, :, 1]
+    flat = px * m + py  # (batch, p)
+    grid = (batch, n * m)
+    blocked_p = xp.take_along_axis(
+        xp.reshape(unusable, grid), flat, axis=1
+    )
+    open_pivot = ~blocked_p
+    if pivot_valid is not None:
+        open_pivot = open_pivot & pivot_valid
+    p_east = xp.take_along_axis(xp.reshape(levels.east, grid), flat, axis=1)
+    p_west = xp.take_along_axis(xp.reshape(levels.west, grid), flat, axis=1)
+    p_north = xp.take_along_axis(xp.reshape(levels.north, grid), flat, axis=1)
+    p_south = xp.take_along_axis(xp.reshape(levels.south, grid), flat, axis=1)
+
+    # Local pivot coordinates per (pattern, destination, pivot): the
+    # frame's axis reflections depend on the destination's quadrant.
+    sign_x = xp.where(dx >= 0, 1, -1)[:, :, None]
+    sign_y = xp.where(dy >= 0, 1, -1)[:, :, None]
+    xi = (px[:, None, :] - source[0]) * sign_x
+    yi = (py[:, None, :] - source[1]) * sign_y
+    pivot_east = xp.where(dx[:, :, None] >= 0, p_east[:, None, :], p_west[:, None, :])
+    pivot_north = xp.where(dy[:, :, None] >= 0, p_north[:, None, :], p_south[:, None, :])
+
+    east, south, west, north = _node_esl(levels, source)
+    src_east = xp.where(dx >= 0, east[:, None], west[:, None])[:, :, None]
+    src_north = xp.where(dy >= 0, north[:, None], south[:, None])[:, :, None]
+
+    in_box = (xi >= 0) & (xi <= xd[:, :, None]) & (yi >= 0) & (yi <= yd[:, :, None])
+    source_reaches = (xi <= src_east) & (yi <= src_north)
+    pivot_reaches = (xd[:, :, None] - xi <= pivot_east) & (
+        yd[:, :, None] - yi <= pivot_north
+    )
+    chain = in_box & source_reaches & pivot_reaches & open_pivot[:, None, :]
+    return ensured | xp.any(chain, axis=-1)
+
+
+# ----------------------------------------------------------------------
+# Existence oracle: batched monotone reachability
+# ----------------------------------------------------------------------
+
+
+def _climb_columns(xp: Any, base: Array, free: Array) -> Array:
+    """One DP column across the batch: enter from the West, climb North.
+
+    The batched form of :func:`repro.faults.coverage._climb_column`:
+    ``base``/``free`` are ``(batch, m)``; a cell is reachable iff it is
+    free and, within its contiguous free run, some cell at or below it is
+    seeded by ``base``.
+    """
+    seed = base & free
+    acc = xp.cumulative_sum(xp.astype(seed, xp.int64), axis=-1)
+    block_acc = xp.where(~free, acc, 0)
+    last_block_acc = _cummax_last(xp, block_acc)
+    return free & (acc > last_block_acc)
+
+
+def batch_reachability_map(
+    unusable: Array, source: Coord, flip_x: bool = False, flip_y: bool = False
+) -> Array:
+    """Per-pattern monotone reachability over one source quadrant.
+
+    ``out[b]`` equals ``monotone_reachability_map(unusable[b], source,
+    flip_x, flip_y)``: entry ``[b, i, j]`` says whether a minimal path from
+    the source reaches the node ``i`` columns and ``j`` rows into the
+    quadrant under pattern ``b``.  (A pattern whose source is swallowed by
+    a block yields an all-False map, matching the scalar early return.)
+    """
+    xp = array_namespace(unusable)
+    sx, sy = source
+    sub = unusable[:, : sx + 1, :] if flip_x else unusable[:, sx:, :]
+    if flip_x:
+        sub = xp.flip(sub, axis=1)
+    sub = sub[:, :, : sy + 1] if flip_y else sub[:, :, sy:]
+    if flip_y:
+        sub = xp.flip(sub, axis=2)
+    free = ~sub
+    batch, nq, mq = free.shape
+    seed_col = xp.zeros((batch, mq), dtype=xp.bool)
+    seed_col[:, 0] = True
+    columns = [_climb_columns(xp, seed_col, free[:, 0, :])]
+    for x in range(1, nq):
+        columns.append(_climb_columns(xp, columns[-1], free[:, x, :]))
+    return xp.stack(columns, axis=1)
+
+
+def batch_pattern_path_exists(
+    unusable: Array,
+    source: Coord,
+    dests: Array,
+    maps: dict[tuple[bool, bool], Array] | None = None,
+) -> Array:
+    """Minimal-path existence across patterns and destinations.
+
+    ``mask[b, i]`` equals ``minimal_path_exists(unusable[b], source,
+    dests[b, i])`` for block-free endpoints (the experiment protocol
+    guarantees both).  Builds at most one quadrant map per destination
+    quadrant present; pass ``maps`` to reuse them across metrics.
+    """
+    xp = array_namespace(unusable)
+    m = unusable.shape[-1]
+    dx, dy, xd, yd = _dest_offsets(xp, source, dests)
+    out = xp.zeros(dx.shape, dtype=xp.bool)
+    for flip_x in (False, True):
+        for flip_y in (False, True):
+            sel = ((dx < 0) == flip_x) & ((dy < 0) == flip_y)
+            if not bool(xp.any(sel)):
+                continue
+            key = (flip_x, flip_y)
+            if maps is not None and key in maps:
+                quadrant = maps[key]
+            else:
+                quadrant = batch_reachability_map(unusable, source, flip_x, flip_y)
+                if maps is not None:
+                    maps[key] = quadrant
+            nq, mq = quadrant.shape[-2], quadrant.shape[-1]
+            flat_idx = xp.clip(xd, 0, nq - 1) * mq + xp.clip(yd, 0, mq - 1)
+            batch = quadrant.shape[0]
+            gathered = xp.take_along_axis(
+                xp.reshape(quadrant, (batch, nq * mq)), flat_idx, axis=1
+            )
+            out = xp.where(sel, gathered, out)
+    return out

@@ -15,7 +15,11 @@
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import FigureSeries
-from repro.experiments.runner import ConditionExperiment, TrialContext
+from repro.experiments.runner import (
+    ConditionExperiment,
+    PatternBatchContext,
+    TrialContext,
+)
 from repro.experiments.figures import (
     fig7_affected_rows,
     fig8_disabled_nodes,
@@ -38,6 +42,7 @@ __all__ = [
     "ExperimentConfig",
     "FigureSeries",
     "MemoryReport",
+    "PatternBatchContext",
     "TrialContext",
     "fig7_affected_rows",
     "fig8_disabled_nodes",

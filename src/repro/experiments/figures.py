@@ -11,13 +11,16 @@ patterns over that many processes (see ``run(workers=N)`` in the runner)
 and produces a bit-identical series at any worker count.  Their metric
 lists are built by module-level *factories* (``fig9_metrics`` ...), which
 are picklable and therefore usable from worker processes; each metric
-carries both the scalar predicate and, where a vectorised kernel exists,
-the batched form from :mod:`repro.core.batched`.
+carries the scalar predicate, the per-pattern destination-batched form
+from :mod:`repro.core.batched` where one exists, and -- for the
+block-model curves -- the cross-pattern form from
+:mod:`repro.core.batched_patterns` used by ``run(engine="batched")``
+(``engine`` / ``backend`` thread through each figure entry point).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -33,6 +36,13 @@ from repro.core.batched import (
     batch_extension3,
     batch_is_safe,
 )
+from repro.core.batched_patterns import (
+    batch_pattern_extension1,
+    batch_pattern_extension2,
+    batch_pattern_extension3,
+    batch_pattern_is_safe,
+    batch_pattern_path_exists,
+)
 from repro.core.conditions import is_safe
 from repro.core.extensions import (
     extension1_decision,
@@ -47,6 +57,7 @@ from repro.experiments.runner import (
     MCC_MODEL,
     ConditionExperiment,
     MetricSpec,
+    PatternBatchContext,
     TrialContext,
 )
 from repro.faults.coverage import batch_minimal_path_exists, minimal_path_exists
@@ -70,6 +81,10 @@ def _safe_source_batch(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
     return batch_is_safe(ctx.levels, ctx.source, dests)
 
 
+def _safe_source_pattern(pctx: PatternBatchContext) -> Any:
+    return batch_pattern_is_safe(pctx.levels, pctx.source, pctx.dests)
+
+
 def _existence(ctx: TrialContext, dest: Coord) -> bool:
     return minimal_path_exists(ctx.blocked, ctx.source, dest)
 
@@ -77,6 +92,12 @@ def _existence(ctx: TrialContext, dest: Coord) -> bool:
 def _existence_batch(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
     return batch_minimal_path_exists(
         ctx.blocked, ctx.source, dests, maps=ctx.reachability_maps
+    )
+
+
+def _existence_pattern(pctx: PatternBatchContext) -> Any:
+    return batch_pattern_path_exists(
+        pctx.blocked, pctx.source, pctx.dests, maps=pctx.reachability_maps
     )
 
 
@@ -93,6 +114,12 @@ def _extension1_min_batch(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
     )
 
 
+def _extension1_min_pattern(pctx: PatternBatchContext) -> Any:
+    return batch_pattern_extension1(
+        pctx.blocked, pctx.levels, pctx.source, pctx.dests, allow_sub_minimal=False
+    )
+
+
 def _extension1_submin(ctx: TrialContext, dest: Coord) -> bool:
     decision = extension1_decision(
         ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dest, allow_sub_minimal=True
@@ -103,6 +130,12 @@ def _extension1_submin(ctx: TrialContext, dest: Coord) -> bool:
 def _extension1_submin_batch(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
     return batch_extension1(
         ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dests, allow_sub_minimal=True
+    )
+
+
+def _extension1_submin_pattern(pctx: PatternBatchContext) -> Any:
+    return batch_pattern_extension1(
+        pctx.blocked, pctx.levels, pctx.source, pctx.dests, allow_sub_minimal=True
     )
 
 
@@ -123,6 +156,16 @@ def _extension2_batch(size: int | None) -> Callable[[TrialContext, np.ndarray], 
     return metric
 
 
+def _extension2_pattern(size: int | None) -> Callable[[PatternBatchContext], Any]:
+    def metric(pctx: PatternBatchContext) -> Any:
+        return batch_pattern_extension2(
+            pctx.levels, pctx.source, pctx.dests, size,
+            (pctx.mesh.n, pctx.mesh.m), tables=pctx.tables(size),
+        )
+
+    return metric
+
+
 def _extension3(level: int) -> Callable[[TrialContext, Coord], bool]:
     def metric(ctx: TrialContext, dest: Coord) -> bool:
         decision = extension3_decision(
@@ -137,6 +180,15 @@ def _extension3_batch(level: int) -> Callable[[TrialContext, np.ndarray], np.nda
     def metric(ctx: TrialContext, dests: np.ndarray) -> np.ndarray:
         return batch_extension3(
             ctx.mesh, ctx.levels, ctx.blocked, ctx.source, dests, ctx.pivots_by_level[level]
+        )
+
+    return metric
+
+
+def _extension3_pattern(level: int) -> Callable[[PatternBatchContext], Any]:
+    def metric(pctx: PatternBatchContext) -> Any:
+        return batch_pattern_extension3(
+            pctx.blocked, pctx.levels, pctx.source, pctx.dests, pctx.pivot_array(level)
         )
 
     return metric
@@ -199,14 +251,51 @@ def _strategy_batch(
     return metric
 
 
+def _strategy_pattern(
+    strategy: Strategy, config: ExperimentConfig
+) -> Callable[[PatternBatchContext], Any]:
+    """Cross-pattern strategy mask (same OR argument as ``_strategy_batch``)."""
+    segment_size = config.strategy_segment_size
+
+    def metric(pctx: PatternBatchContext) -> Any:
+        xp = pctx.xp
+        shape = (pctx.dests.shape[0], pctx.dests.shape[1])
+        ensured = xp.zeros(shape, dtype=xp.bool)
+        if strategy.uses_extension1:
+            ensured = ensured | batch_pattern_extension1(
+                pctx.blocked, pctx.levels, pctx.source, pctx.dests,
+                allow_sub_minimal=False,
+            )
+        if strategy.uses_extension2:
+            ensured = ensured | batch_pattern_extension2(
+                pctx.levels, pctx.source, pctx.dests, segment_size,
+                (pctx.mesh.n, pctx.mesh.m), tables=pctx.tables(segment_size),
+            )
+        if strategy.uses_extension3:
+            ensured = ensured | batch_pattern_extension3(
+                pctx.blocked, pctx.levels, pctx.source, pctx.dests,
+                pctx.strategy_pivots, pivot_valid=pctx.strategy_valid,
+            )
+        return ensured
+
+    return metric
+
+
 def _both_models(
     name: str,
     fn: Callable[[TrialContext, Coord], bool],
     model: str,
     batch_fn: Callable[[TrialContext, np.ndarray], np.ndarray] | None = None,
+    pattern_fn: Callable[[PatternBatchContext], Any] | None = None,
 ) -> MetricSpec:
     suffix = "" if model == BLOCK_MODEL else "a"
-    return MetricSpec(name=f"{name}{suffix}", fn=fn, model=model, batch_fn=batch_fn)
+    return MetricSpec(
+        name=f"{name}{suffix}",
+        fn=fn,
+        model=model,
+        batch_fn=batch_fn,
+        pattern_fn=pattern_fn if model == BLOCK_MODEL else None,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -287,23 +376,52 @@ def fig9_metrics(config: ExperimentConfig) -> list[MetricSpec]:
     metrics: list[MetricSpec] = []
     for model in (BLOCK_MODEL, MCC_MODEL):
         metrics += [
-            _both_models("safe_source", _safe_source, model, _safe_source_batch),
-            _both_models("ext1_min", _extension1_min, model, _extension1_min_batch),
-            _both_models("ext1_submin", _extension1_submin, model, _extension1_submin_batch),
-            _both_models("existence", _existence, model, _existence_batch),
+            _both_models(
+                "safe_source", _safe_source, model, _safe_source_batch,
+                _safe_source_pattern,
+            ),
+            _both_models(
+                "ext1_min", _extension1_min, model, _extension1_min_batch,
+                _extension1_min_pattern,
+            ),
+            _both_models(
+                "ext1_submin", _extension1_submin, model, _extension1_submin_batch,
+                _extension1_submin_pattern,
+            ),
+            _both_models(
+                "existence", _existence, model, _existence_batch, _existence_pattern
+            ),
         ]
     return metrics
 
 
+def fig9_block_metrics(config: ExperimentConfig) -> list[MetricSpec]:
+    """Figure 9's block-model curves only (picklable metrics factory).
+
+    Every curve here has a cross-pattern kernel, so under
+    ``run(engine="batched")`` the whole sweep is one array program per
+    shard -- the workload pair behind the ``macro.conditions_*`` bench
+    gate compares exactly this factory under both engines.
+    """
+    return [
+        metric for metric in fig9_metrics(config) if metric.model == BLOCK_MODEL
+    ]
+
+
 def fig9_extension1(
-    config: ExperimentConfig | None = None, progress: Progress = None, workers: int = 1
+    config: ExperimentConfig | None = None,
+    progress: Progress = None,
+    workers: int = 1,
+    engine: str = "auto",
+    backend: str = "numpy",
 ) -> FigureSeries:
     """Safe source, extension 1 (min), extension 1 (sub-min), and the
     optimal existence baseline, under both fault models (Figure 9 a+b)."""
     config = config or ExperimentConfig.from_environment()
     experiment = ConditionExperiment(config, metrics_factory=fig9_metrics)
     return experiment.run(
-        "fig9", "minimal/sub-minimal ensured: extension 1", progress, workers=workers
+        "fig9", "minimal/sub-minimal ensured: extension 1", progress,
+        workers=workers, engine=engine, backend=backend,
     )
 
 
@@ -311,26 +429,41 @@ def fig10_metrics(config: ExperimentConfig) -> list[MetricSpec]:
     """Figure 10's curves (picklable metrics factory)."""
     metrics: list[MetricSpec] = []
     for model in (BLOCK_MODEL, MCC_MODEL):
-        metrics.append(_both_models("safe_source", _safe_source, model, _safe_source_batch))
+        metrics.append(
+            _both_models(
+                "safe_source", _safe_source, model, _safe_source_batch,
+                _safe_source_pattern,
+            )
+        )
         for size in config.segment_sizes:
             label = "max" if size is None else str(size)
             metrics.append(
                 _both_models(
-                    f"ext2_{label}", _extension2(size), model, _extension2_batch(size)
+                    f"ext2_{label}", _extension2(size), model,
+                    _extension2_batch(size), _extension2_pattern(size),
                 )
             )
-        metrics.append(_both_models("existence", _existence, model, _existence_batch))
+        metrics.append(
+            _both_models(
+                "existence", _existence, model, _existence_batch, _existence_pattern
+            )
+        )
     return metrics
 
 
 def fig10_extension2(
-    config: ExperimentConfig | None = None, progress: Progress = None, workers: int = 1
+    config: ExperimentConfig | None = None,
+    progress: Progress = None,
+    workers: int = 1,
+    engine: str = "auto",
+    backend: str = "numpy",
 ) -> FigureSeries:
     """Extension 2 for every segment-size variation (Figure 10 a+b)."""
     config = config or ExperimentConfig.from_environment()
     experiment = ConditionExperiment(config, metrics_factory=fig10_metrics)
     return experiment.run(
-        "fig10", "minimal ensured: extension 2 segment sizes", progress, workers=workers
+        "fig10", "minimal ensured: extension 2 segment sizes", progress,
+        workers=workers, engine=engine, backend=backend,
     )
 
 
@@ -338,25 +471,40 @@ def fig11_metrics(config: ExperimentConfig) -> list[MetricSpec]:
     """Figure 11's curves (picklable metrics factory)."""
     metrics: list[MetricSpec] = []
     for model in (BLOCK_MODEL, MCC_MODEL):
-        metrics.append(_both_models("safe_source", _safe_source, model, _safe_source_batch))
+        metrics.append(
+            _both_models(
+                "safe_source", _safe_source, model, _safe_source_batch,
+                _safe_source_pattern,
+            )
+        )
         for level in config.pivot_levels:
             metrics.append(
                 _both_models(
-                    f"ext3_level{level}", _extension3(level), model, _extension3_batch(level)
+                    f"ext3_level{level}", _extension3(level), model,
+                    _extension3_batch(level), _extension3_pattern(level),
                 )
             )
-        metrics.append(_both_models("existence", _existence, model, _existence_batch))
+        metrics.append(
+            _both_models(
+                "existence", _existence, model, _existence_batch, _existence_pattern
+            )
+        )
     return metrics
 
 
 def fig11_extension3(
-    config: ExperimentConfig | None = None, progress: Progress = None, workers: int = 1
+    config: ExperimentConfig | None = None,
+    progress: Progress = None,
+    workers: int = 1,
+    engine: str = "auto",
+    backend: str = "numpy",
 ) -> FigureSeries:
     """Extension 3 for partition levels 1-3 (Figure 11 a+b)."""
     config = config or ExperimentConfig.from_environment()
     experiment = ConditionExperiment(config, metrics_factory=fig11_metrics)
     return experiment.run(
-        "fig11", "minimal ensured: extension 3 partition levels", progress, workers=workers
+        "fig11", "minimal ensured: extension 3 partition levels", progress,
+        workers=workers, engine=engine, backend=backend,
     )
 
 
@@ -371,18 +519,28 @@ def fig12_metrics(config: ExperimentConfig) -> list[MetricSpec]:
                     _strategy(strategy, config),
                     model,
                     _strategy_batch(strategy, config),
+                    _strategy_pattern(strategy, config),
                 )
             )
-        metrics.append(_both_models("existence", _existence, model, _existence_batch))
+        metrics.append(
+            _both_models(
+                "existence", _existence, model, _existence_batch, _existence_pattern
+            )
+        )
     return metrics
 
 
 def fig12_strategies(
-    config: ExperimentConfig | None = None, progress: Progress = None, workers: int = 1
+    config: ExperimentConfig | None = None,
+    progress: Progress = None,
+    workers: int = 1,
+    engine: str = "auto",
+    backend: str = "numpy",
 ) -> FigureSeries:
     """Strategies 1-4 / 1a-4a (Figure 12 a+b)."""
     config = config or ExperimentConfig.from_environment()
     experiment = ConditionExperiment(config, metrics_factory=fig12_metrics)
     return experiment.run(
-        "fig12", "minimal ensured: strategies 1-4", progress, workers=workers
+        "fig12", "minimal ensured: strategies 1-4", progress,
+        workers=workers, engine=engine, backend=backend,
     )

@@ -7,11 +7,24 @@ every random destination.  Metrics under the block and MCC models see the
 *same* fault patterns and destinations, so the paper's (a)/(b) figure pairs
 are paired comparisons.
 
-Scaling layers (see ``docs/API.md``, "Scaling experiments"):
+Scaling layers (see ``docs/API.md``, "Scaling experiments" and "Batched
+pattern engine"):
 
 - destinations are evaluated as **batches**: a metric with a ``batch_fn``
   (a vectorised kernel from :mod:`repro.core.batched`) decides all of a
   pattern's destinations in one numpy call;
+- whole shards are evaluated as **pattern batches**:
+  ``run(engine="batched")`` stacks a shard's fault patterns into
+  ``(batch, n, m)`` grids and drives the cross-pattern kernels of
+  :mod:`repro.core.batched_patterns` -- block formation, ESLs, and every
+  block-model condition metric with a ``pattern_fn`` evaluate all
+  patterns in one array-program pass (on any array API backend via
+  ``backend=``).  Metrics without a ``pattern_fn`` (MCC-model curves,
+  custom predicates) fall back to the per-pattern path inside the same
+  shard, and non-uniform workloads fall back entirely, so the engine is
+  always safe to request.  Results are bit-identical to the scalar
+  engine: the batched generators consume each pattern's RNG stream draw
+  for draw like the scalar pipeline does.
 - per-pattern artifacts (blocked grid, rectangles, ESL grid, axis
   segments) flow through the process-wide
   :class:`~repro.parallel.cache.ArtifactCache`, so block-/MCC-model
@@ -20,24 +33,34 @@ Scaling layers (see ``docs/API.md``, "Scaling experiments"):
   :class:`~concurrent.futures.ProcessPoolExecutor`.  Every pattern owns a
   :class:`numpy.random.SeedSequence` spawned along a fixed tree
   (see :mod:`repro.parallel.pool`), so serial and parallel runs produce
-  bit-identical :class:`~repro.experiments.report.FigureSeries`.
+  bit-identical :class:`~repro.experiments.report.FigureSeries`; the
+  batch engine composes (each worker stacks its own shard).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.analysis.statistics import proportion_ci
+from repro.core.array_api import resolve_backend, to_numpy
+from repro.core.batched_patterns import (
+    AxisSampleTable,
+    BatchedSafetyLevels,
+    batch_disable_fixpoint,
+    batch_safety_levels,
+    build_source_sample_tables,
+)
 from repro.core.pivots import random_pivots, recursive_center_pivots
 from repro.core.safety import SafetyLevels, compute_safety_levels
 from repro.core.segments import RegionSegments, build_axis_segments
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import FigureSeries
-from repro.faults.injection import FaultScenario, generate_scenario
+from repro.faults.blocks import build_faulty_blocks
+from repro.faults.injection import FaultScenario, generate_scenario, uniform_faults_batch
 from repro.faults.mcc import MCCType
 from repro.mesh.frames import Frame
 from repro.mesh.geometry import Coord, Direction, Rect
@@ -48,6 +71,9 @@ from repro.parallel.pool import ShardPlan, plan_shards
 #: The fault models a metric can run under.
 BLOCK_MODEL = "block"
 MCC_MODEL = "mcc"
+
+#: Engines ``ConditionExperiment.run`` accepts; ``"auto"`` means batched.
+ENGINES = ("auto", "batched", "scalar")
 
 
 @dataclass
@@ -114,8 +140,53 @@ class TrialContext:
         return self._segment_cache[key]
 
 
+@dataclass
+class PatternBatchContext:
+    """Everything a cross-pattern kernel may consult for one shard.
+
+    The batched analogue of :class:`TrialContext`: ``blocked`` and the ESL
+    grids are stacked ``(batch, n, m)`` arrays on the active backend,
+    ``dests`` is ``(batch, k, 2)``, and the per-pattern random strategy
+    pivots are padded to ``(batch, p, 2)`` with ``strategy_valid`` masking
+    the padding.  Reachability maps and segment sample tables are cached on
+    the context so metrics sharing them (the figure curves do) build them
+    once per shard.
+    """
+
+    mesh: Mesh2D
+    source: Coord
+    xp: Any
+    blocked: Any
+    levels: BatchedSafetyLevels
+    dests: Any
+    pivots_by_level: dict[int, list[Coord]]
+    strategy_pivots: Any
+    strategy_valid: Any
+    reachability_maps: dict[tuple[bool, bool], Any] = field(default_factory=dict)
+    _pivot_arrays: dict[int, Any] = field(default_factory=dict)
+    _table_cache: dict[int | None, tuple[AxisSampleTable, AxisSampleTable]] = field(
+        default_factory=dict
+    )
+
+    def pivot_array(self, level: int) -> Any:
+        """The shared recursive-centre pivots for ``level`` as ``(p, 2)``."""
+        if level not in self._pivot_arrays:
+            coords = np.array(self.pivots_by_level[level], dtype=np.int64).reshape(-1, 2)
+            self._pivot_arrays[level] = self.xp.asarray(coords)
+        return self._pivot_arrays[level]
+
+    def tables(self, size: int | None) -> tuple[AxisSampleTable, AxisSampleTable]:
+        """(East-axis, North-axis) sample tables, cached per segment size."""
+        if size not in self._table_cache:
+            self._table_cache[size] = build_source_sample_tables(
+                self.levels, self.source, size, (self.mesh.n, self.mesh.m)
+            )
+        return self._table_cache[size]
+
+
 MetricFn = Callable[[TrialContext, Coord], bool]
 BatchMetricFn = Callable[[TrialContext, np.ndarray], np.ndarray]
+PatternMetricFn = Callable[[PatternBatchContext], Any]
 
 
 @dataclass(frozen=True)
@@ -125,17 +196,23 @@ class MetricSpec:
     ``batch_fn``, when given, decides a whole ``(k, 2)`` destination array
     in one call and must agree with ``fn`` element-wise (the property tests
     cross-validate the built-in kernels); metrics without one fall back to
-    the scalar loop.
+    the scalar loop.  ``pattern_fn``, when given, decides a whole shard's
+    ``(batch, k)`` (pattern, destination) grid in one cross-pattern kernel
+    call under ``run(engine="batched")``; block-model only -- MCC metrics
+    fall back to the per-pattern path inside the batched engine.
     """
 
     name: str
     fn: MetricFn
     model: str = BLOCK_MODEL
     batch_fn: BatchMetricFn | None = None
+    pattern_fn: PatternMetricFn | None = None
 
     def __post_init__(self) -> None:
         if self.model not in (BLOCK_MODEL, MCC_MODEL):
             raise ValueError(f"unknown model {self.model!r}")
+        if self.pattern_fn is not None and self.model != BLOCK_MODEL:
+            raise ValueError("pattern_fn kernels run under the block model only")
 
 
 #: Rebuilds a figure's metric list inside worker processes (must be a
@@ -233,8 +310,293 @@ def _evaluate_shard(
     return successes, trials
 
 
+def _generate_pattern_grids(
+    config: ExperimentConfig,
+    fault_count: int,
+    rngs: list[np.random.Generator],
+    max_rejections: int = 1000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(faults, blocked)`` numpy stacks with every source block-free.
+
+    The batched form of :func:`~repro.faults.injection.generate_scenario`'s
+    accept/reject loop: patterns whose blocks swallow the source are
+    redrawn *from their own generator*, so each generator is consumed
+    exactly as the scalar loop consumes it (one ``uniform_faults`` draw per
+    rejection round) and the accepted grids are bit-identical.
+    """
+    mesh, source = config.mesh, config.source
+    forbidden = frozenset({source})
+    faults = uniform_faults_batch(mesh, fault_count, rngs, forbidden)
+    blocked = to_numpy(batch_disable_fixpoint(faults))
+    sx, sy = source
+    bad = np.flatnonzero(blocked[:, sx, sy])
+    rounds = 1
+    while bad.size:
+        rounds += 1
+        if rounds > max_rejections:
+            raise RuntimeError(
+                f"source {source} kept falling inside a faulty block "
+                f"after {max_rejections} resamples"
+            )
+        redrawn = uniform_faults_batch(
+            mesh, fault_count, [rngs[int(b)] for b in bad], forbidden
+        )
+        faults[bad] = redrawn
+        blocked[bad] = to_numpy(batch_disable_fixpoint(redrawn))
+        bad = bad[blocked[bad, sx, sy]]
+    return faults, blocked
+
+
+def _pick_destinations_batch(
+    config: ExperimentConfig,
+    blocked: np.ndarray,
+    rngs: list[np.random.Generator],
+    max_attempts: int = 10_000,
+) -> np.ndarray:
+    """``(batch, k, 2)`` destinations identical to the scalar
+    ``FaultScenario.pick_destination`` loop over each generator.
+
+    The destinations are the *last* thing the per-pattern streams feed, so
+    only their values must match -- and on a square mesh the x and y draws
+    share one bounded distribution, whose block draws
+    (``rng.integers(lo, hi, size=k)``) produce exactly the values of ``k``
+    sequential scalar calls.  The fast path therefore draws attempt pairs
+    in chunks and accepts the first ``k`` valid ones vectorised (validity
+    is a fixed predicate of the grid, so acceptance commutes with block
+    drawing); asymmetric regions fall back to the literal per-attempt
+    loop.
+    """
+    clipped = config.destination_region.clip(config.mesh.bounds)
+    if clipped is None:
+        raise ValueError(f"region {config.destination_region} lies outside the mesh")
+    source = config.source
+    count = config.destinations_per_pattern
+    dests = np.empty((len(rngs), count, 2), dtype=np.int64)
+    symmetric = clipped.xmin == clipped.ymin and clipped.xmax == clipped.ymax
+    for b, rng in enumerate(rngs):
+        grid = blocked[b]
+        if symmetric:
+            picked = 0
+            attempts = 0
+            while picked < count:
+                if attempts > count * max_attempts:
+                    raise RuntimeError(
+                        f"no block-free destination found in {clipped} "
+                        f"after {max_attempts} draws"
+                    )
+                need = count - picked
+                draws = rng.integers(
+                    clipped.xmin, clipped.xmax + 1, size=2 * (2 * need + 8)
+                )
+                xs, ys = draws[0::2], draws[1::2]
+                attempts += len(xs)
+                ok = ~grid[xs, ys]
+                ok &= (xs != source[0]) | (ys != source[1])
+                good = np.flatnonzero(ok)[:need]
+                taken = len(good)
+                dests[b, picked : picked + taken, 0] = xs[good]
+                dests[b, picked : picked + taken, 1] = ys[good]
+                picked += taken
+            continue
+        for i in range(count):
+            for _ in range(max_attempts):
+                coord = (
+                    int(rng.integers(clipped.xmin, clipped.xmax + 1)),
+                    int(rng.integers(clipped.ymin, clipped.ymax + 1)),
+                )
+                if coord == source:
+                    continue
+                if not grid[coord[0], coord[1]]:
+                    dests[b, i] = coord
+                    break
+            else:
+                raise RuntimeError(
+                    f"no block-free destination found in {clipped} "
+                    f"after {max_attempts} draws"
+                )
+    return dests
+
+
+def _pivot_draw_cells(config: ExperimentConfig) -> list[tuple[int, int, int, int]]:
+    """The ``(xlo, xhi+1, ylo, yhi+1)`` draw bounds behind ``random_pivots``.
+
+    The recursive cell decomposition depends only on the (fixed) pivot
+    region, so the batched engine precomputes it once per shard and replays
+    just the integer draws per pattern -- the same bounds in the same
+    order, hence the same stream consumption and the same pivots as the
+    scalar engine's per-pattern ``random_pivots`` call, without rebuilding
+    the ``Rect`` recursion hundreds of times.
+    """
+    from repro.core.pivots import _recursive_cells
+
+    return [
+        (cell.xmin, cell.xmax + 1, cell.ymin, cell.ymax + 1)
+        for tier in _recursive_cells(config.pivot_region, config.strategy_pivot_levels)
+        for cell in tier
+    ]
+
+
+def _replay_random_pivots(
+    cells: list[tuple[int, int, int, int]], rng: np.random.Generator
+) -> list[Coord]:
+    """Draw-for-draw replay of ``random_pivots`` over precomputed bounds."""
+    pivots: list[Coord] = []
+    seen: set[Coord] = set()
+    for xlo, xhi, ylo, yhi in cells:
+        coord = (int(rng.integers(xlo, xhi)), int(rng.integers(ylo, yhi)))
+        if coord not in seen:
+            seen.add(coord)
+            pivots.append(coord)
+    return pivots
+
+
+def _pad_pivots(pivot_lists: list[list[Coord]]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack ragged per-pattern pivot lists to ``(batch, p, 2)`` + mask."""
+    width = max((len(p) for p in pivot_lists), default=0)
+    pivots = np.zeros((len(pivot_lists), width, 2), dtype=np.int64)
+    valid = np.zeros((len(pivot_lists), width), dtype=bool)
+    for b, plist in enumerate(pivot_lists):
+        if plist:
+            pivots[b, : len(plist)] = np.array(plist, dtype=np.int64)
+            valid[b, : len(plist)] = True
+    return pivots, valid
+
+
+def _fallback_context(
+    config: ExperimentConfig,
+    faults: list[Coord],
+    model: str,
+    rng: np.random.Generator,
+    pivots_by_level: dict[int, list[Coord]],
+    strategy_pivots: list[Coord],
+) -> TrialContext:
+    """A scalar :class:`TrialContext` for one batched pattern.
+
+    Shares the artifact cache key with :func:`_build_context`, so a mixed
+    batched/scalar sweep (MCC curves alongside batched block curves) never
+    rebuilds a pattern's blocks, rectangles, or ESL grid twice -- and never
+    consumes the generator (the pivots were already drawn in stream order).
+    """
+    mesh = config.mesh
+    cache_key = (model, mesh.n, mesh.m, tuple(faults))
+
+    def build() -> ScenarioArtifacts:
+        scenario = FaultScenario(
+            mesh=mesh, faults=faults, blocks=build_faulty_blocks(mesh, faults)
+        )
+        return _build_artifacts(scenario, model)
+
+    artifacts = get_artifact_cache().get_or_build(cache_key, build)
+    return TrialContext(
+        mesh=mesh,
+        source=config.source,
+        levels=artifacts.levels,
+        blocked=artifacts.blocked,
+        rects=artifacts.rects,
+        pivots_by_level=pivots_by_level,
+        strategy_pivots=strategy_pivots,
+        strategy_rng=rng,
+        _segment_cache=artifacts.segment_cache,
+        reachability_maps=artifacts.reachability_maps,
+    )
+
+
+def _evaluate_shard_patterns(
+    config: ExperimentConfig,
+    metrics: list[MetricSpec],
+    shard: ShardPlan,
+    backend: str = "numpy",
+) -> tuple[dict[str, int], int]:
+    """Batched counterpart of :func:`_evaluate_shard`: bit-identical counts.
+
+    Stacks the shard's patterns into ``(batch, n, m)`` grids and evaluates
+    every metric with a ``pattern_fn`` in one cross-pattern kernel pass on
+    the requested backend; metrics without one (MCC curves, custom
+    predicates) run through per-pattern fallback contexts built from the
+    same grids.  Each pattern's RNG stream is consumed in exactly the
+    scalar order -- faults (with rejection redraws), block strategy pivots,
+    MCC strategy pivots if any metric needs them, then destinations -- so
+    the two engines agree draw for draw.
+    """
+    if config.workload != "uniform" or not shard.pattern_seeds:
+        return _evaluate_shard(config, metrics, shard)
+    xp = resolve_backend(backend)
+    rngs = [np.random.default_rng(seed_seq) for seed_seq in shard.pattern_seeds]
+    faults_np, blocked_np = _generate_pattern_grids(config, shard.fault_count, rngs)
+
+    needs_mcc = any(metric.model == MCC_MODEL for metric in metrics)
+    pivots_by_level = {
+        level: recursive_center_pivots(config.pivot_region, level)
+        for level in config.pivot_levels
+    }
+    draw_cells = _pivot_draw_cells(config)
+    block_pivots = [_replay_random_pivots(draw_cells, rng) for rng in rngs]
+    mcc_pivots = (
+        [_replay_random_pivots(draw_cells, rng) for rng in rngs]
+        if needs_mcc
+        else None
+    )
+    dests_np = _pick_destinations_batch(config, blocked_np, rngs)
+
+    batch = len(rngs)
+    successes = {metric.name: 0 for metric in metrics}
+    trials = batch * config.destinations_per_pattern
+
+    pattern_metrics = [metric for metric in metrics if metric.pattern_fn is not None]
+    scalar_metrics = [metric for metric in metrics if metric.pattern_fn is None]
+
+    if pattern_metrics:
+        blocked_xp = xp.asarray(blocked_np)
+        strat_np, valid_np = _pad_pivots(block_pivots)
+        pctx = PatternBatchContext(
+            mesh=config.mesh,
+            source=config.source,
+            xp=xp,
+            blocked=blocked_xp,
+            levels=batch_safety_levels(blocked_xp),
+            dests=xp.asarray(dests_np),
+            pivots_by_level=pivots_by_level,
+            strategy_pivots=xp.asarray(strat_np),
+            strategy_valid=xp.asarray(valid_np),
+        )
+        for metric in pattern_metrics:
+            mask = to_numpy(metric.pattern_fn(pctx))
+            successes[metric.name] += int(np.count_nonzero(mask))
+
+    if scalar_metrics:
+        for b in range(batch):
+            faults = [(int(x), int(y)) for x, y in np.argwhere(faults_np[b])]
+            contexts: dict[str, TrialContext] = {}
+            dest_array = dests_np[b]
+            dest_list = [(int(x), int(y)) for x, y in dest_array]
+            for metric in scalar_metrics:
+                if metric.model not in contexts:
+                    strategy = (
+                        block_pivots[b]
+                        if metric.model == BLOCK_MODEL
+                        else mcc_pivots[b]
+                    )
+                    contexts[metric.model] = _fallback_context(
+                        config, faults, metric.model, rngs[b],
+                        pivots_by_level, strategy,
+                    )
+                context = contexts[metric.model]
+                if metric.batch_fn is not None:
+                    mask = metric.batch_fn(context, dest_array)
+                    successes[metric.name] += int(np.count_nonzero(mask))
+                else:
+                    successes[metric.name] += sum(
+                        1 for dest in dest_list if metric.fn(context, dest)
+                    )
+    return successes, trials
+
+
 def _shard_worker(
-    config: ExperimentConfig, metrics_factory: MetricsFactory, shard: ShardPlan
+    config: ExperimentConfig,
+    metrics_factory: MetricsFactory,
+    shard: ShardPlan,
+    engine: str = "scalar",
+    backend: str = "numpy",
 ) -> tuple[dict[str, int], int]:
     """Process-pool entry point: rebuild the metrics, evaluate one shard.
 
@@ -242,7 +604,10 @@ def _shard_worker(
     picklable, so workers receive the (picklable) factory instead and
     reconstruct the metric list locally.
     """
-    return _evaluate_shard(config, metrics_factory(config), shard)
+    metrics = metrics_factory(config)
+    if engine == "scalar":
+        return _evaluate_shard(config, metrics, shard)
+    return _evaluate_shard_patterns(config, metrics, shard, backend)
 
 
 class ConditionExperiment:
@@ -281,21 +646,37 @@ class ConditionExperiment:
         title: str,
         progress: Callable[[str], None] | None = None,
         workers: int = 1,
+        engine: str = "auto",
+        backend: str = "numpy",
     ) -> FigureSeries:
         """Run the sweep on ``workers`` processes (1 = in-process, serial).
 
+        ``engine`` selects the shard evaluator: ``"batched"`` stacks each
+        shard's patterns and drives the cross-pattern kernels of
+        :mod:`repro.core.batched_patterns` on ``backend`` (any name from
+        :data:`repro.core.array_api.BACKENDS`), ``"scalar"`` is the
+        per-pattern loop, and ``"auto"`` (the default) means batched --
+        the batched evaluator falls back per metric and per workload
+        wherever a kernel does not apply, so it is always safe.
+
         The fault-pattern RNG streams are spawned per pattern from the
-        config seed, so any ``workers`` value -- including 1 -- yields the
+        config seed and both engines consume them in the same order, so
+        any (``workers``, ``engine``, ``backend``) combination yields the
         same :class:`FigureSeries`, bit for bit.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if workers > 1 and self.metrics_factory is None:
             raise ValueError(
                 "run(workers>1) needs a picklable metrics_factory: construct the "
                 "experiment with ConditionExperiment(config, metrics_factory=...) "
                 "(metric predicates themselves are often unpicklable closures)"
             )
+        use_batched = engine != "scalar"
+        if use_batched:
+            resolve_backend(backend)  # fail fast on unknown/missing backends
         config = self.config
         series = FigureSeries(figure_id=figure_id, title=title, x_label="faults")
         series.notes.append(config.describe())
@@ -304,15 +685,28 @@ class ConditionExperiment:
         )
 
         if workers == 1:
-            shard_results = [
-                [_evaluate_shard(config, self.metrics, shard) for shard in shards]
-                for shards in plans
-            ]
+            if use_batched:
+                shard_results = [
+                    [
+                        _evaluate_shard_patterns(config, self.metrics, shard, backend)
+                        for shard in shards
+                    ]
+                    for shards in plans
+                ]
+            else:
+                shard_results = [
+                    [_evaluate_shard(config, self.metrics, shard) for shard in shards]
+                    for shards in plans
+                ]
         else:
+            worker_engine = "batched" if use_batched else "scalar"
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     [
-                        pool.submit(_shard_worker, config, self.metrics_factory, shard)
+                        pool.submit(
+                            _shard_worker, config, self.metrics_factory, shard,
+                            worker_engine, backend,
+                        )
                         for shard in shards
                     ]
                     for shards in plans

@@ -8,22 +8,33 @@ range of sides, reporting the safe-source / Extension-1 / existence
 percentages per side.  The bench asserts the spread stays small, which is
 the empirical licence for comparing quick-preset shapes with the paper's
 200x200 results.
+
+Each side is one :class:`~repro.experiments.runner.ConditionExperiment`
+sweep, so the whole thing rides the batched pattern engine: every side's
+patterns are stacked into ``(batch, n, m)`` grids and decided in one
+array-program pass (``engine``/``backend`` select the evaluator, and
+``workers`` shards patterns exactly like the figure sweeps).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
-import numpy as np
-
-from repro.analysis.statistics import proportion_ci
-from repro.core.conditions import is_safe
-from repro.core.extensions import extension1_decision
-from repro.core.safety import compute_safety_levels
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import FigureSeries
-from repro.faults.coverage import minimal_path_exists
-from repro.faults.injection import generate_scenario
+from repro.experiments.runner import ConditionExperiment, MetricSpec
+
+
+def _sweep_metrics(config: ExperimentConfig) -> list[MetricSpec]:
+    """The sweep's block-model curves (picklable metrics factory)."""
+    from repro.experiments.figures import fig9_block_metrics
+
+    return [
+        metric
+        for metric in fig9_block_metrics(config)
+        if metric.name in ("safe_source", "ext1_min", "existence")
+    ]
 
 
 def mesh_size_sweep(
@@ -32,6 +43,9 @@ def mesh_size_sweep(
     patterns_per_side: int = 10,
     destinations_per_pattern: int = 30,
     seed: int = 404,
+    workers: int = 1,
+    engine: str = "auto",
+    backend: str = "numpy",
 ) -> FigureSeries:
     """Safe-source / Extension-1 / existence percentages versus mesh side,
     at a fixed fault density (default: the paper's k=200 density)."""
@@ -40,39 +54,22 @@ def mesh_size_sweep(
         title=f"size invariance at density {density:.2%}",
         x_label="mesh side",
     )
-    rng = np.random.default_rng(seed)
     for side in sides:
-        config = ExperimentConfig.scaled(
-            side, patterns_per_side, destinations_per_pattern, seed=seed
-        )
         fault_count = max(1, round(density * side * side))
-        successes = {"safe_source": 0, "ext1_min": 0, "existence": 0}
-        trials = 0
-        for _ in range(patterns_per_side):
-            scenario = generate_scenario(config.mesh, fault_count, rng, source=config.source)
-            levels = compute_safety_levels(config.mesh, scenario.blocks.unusable)
-            for _ in range(destinations_per_pattern):
-                dest = scenario.pick_destination(
-                    rng, config.destination_region, exclude={config.source}
-                )
-                trials += 1
-                if is_safe(levels, config.source, dest):
-                    successes["safe_source"] += 1
-                decision = extension1_decision(
-                    config.mesh,
-                    levels,
-                    scenario.blocks.unusable,
-                    config.source,
-                    dest,
-                    allow_sub_minimal=False,
-                )
-                if decision.ensures_minimal:
-                    successes["ext1_min"] += 1
-                if minimal_path_exists(scenario.blocks.unusable, config.source, dest):
-                    successes["existence"] += 1
+        config = replace(
+            ExperimentConfig.scaled(
+                side, patterns_per_side, destinations_per_pattern, seed=seed
+            ),
+            fault_counts=(fault_count,),
+        )
+        experiment = ConditionExperiment(config, metrics_factory=_sweep_metrics)
+        side_series = experiment.run(
+            "sweep_size", f"side {side}", workers=workers,
+            engine=engine, backend=backend,
+        )
         series.xs.append(float(side))
-        for name, count in successes.items():
-            series.add_point(name, proportion_ci(count, trials))
+        for name, points in side_series.series.items():
+            series.add_point(name, points[0])
     series.notes.append(
         f"density {density:.3%}, {patterns_per_side} patterns x "
         f"{destinations_per_pattern} destinations per side, seed {seed}"

@@ -15,6 +15,7 @@ every experiment is reproducible from a seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -30,6 +31,7 @@ __all__ = [
     "injection_events",
     "injection_sequence",
     "uniform_faults",
+    "uniform_faults_batch",
     "wall_faults",
 ]
 
@@ -75,6 +77,78 @@ def uniform_faults(
             if len(faults) == count:
                 break
     return sorted(faults)
+
+
+def uniform_faults_batch(
+    mesh: Mesh2D,
+    counts: int | Sequence[int],
+    rngs: Sequence[np.random.Generator | np.random.SeedSequence | int],
+    forbidden: frozenset[Coord] | set[Coord] = frozenset(),
+) -> np.ndarray:
+    """Stacked ``(batch, n, m)`` fault grids, one pattern per generator.
+
+    ``grids[b]`` is **bit-identical** to ``uniform_faults(mesh, counts[b],
+    rngs[b], forbidden)`` rendered as a boolean grid, and each generator is
+    advanced exactly as the scalar call advances it -- draws made *after*
+    this call (pivots, destinations) therefore match the scalar pipeline
+    draw for draw.  That equivalence is what lets the batched experiment
+    engine (:mod:`repro.experiments.runner`) reproduce the per-pattern
+    sweeps bit for bit; the property tests assert it over 100 seeds.
+
+    ``counts`` may be a single count shared by every pattern or one count
+    per generator.  Generators may be given as :class:`numpy.random.
+    Generator` (consumed in place), seed ints, or ``SeedSequence`` s.
+
+    The per-round bookkeeping (dedup, forbidden filtering, acceptance) is
+    vectorised; only the generator draws stay per pattern, because each
+    pattern owns an independent RNG stream by design.
+    """
+    batch = len(rngs)
+    count_list = [counts] * batch if isinstance(counts, int) else list(counts)
+    if len(count_list) != batch:
+        raise ValueError(
+            f"got {len(count_list)} counts for {batch} generators"
+        )
+    forbidden_flat = np.array(
+        sorted(x * mesh.m + y for x, y in forbidden if mesh.in_bounds((x, y))),
+        dtype=np.int64,
+    )
+    available = mesh.size - len(forbidden_flat)
+    grids = np.zeros((batch, mesh.n, mesh.m), dtype=bool)
+    for b, (rng_like, count) in enumerate(zip(rngs, count_list)):
+        rng = (
+            rng_like
+            if isinstance(rng_like, np.random.Generator)
+            else np.random.default_rng(rng_like)
+        )
+        if count > available:
+            raise ValueError(
+                f"cannot place {count} faults in {available} available nodes"
+            )
+        flat_grid = grids[b].reshape(-1)
+        if 2 * count >= available:
+            # Dense regime: the same without-replacement choice as the
+            # scalar path (identical generator consumption).
+            allowed = np.ones(mesh.size, dtype=bool)
+            allowed[forbidden_flat] = False
+            picks = rng.choice(np.flatnonzero(allowed), size=count, replace=False)
+            flat_grid[picks] = True
+            continue
+        taken = np.zeros(mesh.size, dtype=bool)
+        taken[forbidden_flat] = True
+        placed = 0
+        while placed < count:
+            draws = rng.integers(0, mesh.size, size=2 * (count - placed) + 8)
+            # First occurrence of each value, in draw order -- the
+            # vectorised equivalent of the scalar accept loop.
+            _, first_index = np.unique(draws, return_index=True)
+            candidates = draws[np.sort(first_index)]
+            candidates = candidates[~taken[candidates]]
+            accepted = candidates[: count - placed]
+            taken[accepted] = True
+            flat_grid[accepted] = True
+            placed += len(accepted)
+    return grids
 
 
 def injection_sequence(

@@ -1,0 +1,425 @@
+"""Equivalence suite: cross-pattern batched kernels vs the scalar pipeline.
+
+Every kernel in :mod:`repro.core.batched_patterns` promises bit-identical
+results to its scalar counterpart, pattern by pattern.  The suite asserts
+that promise three ways:
+
+- **exhaustively** over every 4x4 fault pattern (all 65536, in chunks) for
+  block formation, and over every *reachable* blocked grid (the 3360
+  distinct fixpoints of those patterns -- the ESL and condition kernels
+  consume only the blocked grid, so this is exhaustive for them too);
+- over **seeded random 32x32 patterns** (50 seeds) with destinations in
+  every quadrant, against per-destination scalar decisions;
+- at the **engine level**: ``ConditionExperiment.run(engine="batched")``
+  reproduces the scalar engine's FigureSeries point for point, including
+  the random-pivot strategies and the MCC fallback path.
+
+The generator-stream property behind the engine equivalence --
+``uniform_faults_batch`` advances each generator exactly as the scalar
+``uniform_faults`` does -- gets its own 100-seed test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batched_patterns import (
+    batch_disable_fixpoint,
+    batch_pattern_extension1,
+    batch_pattern_extension2,
+    batch_pattern_extension3,
+    batch_pattern_is_safe,
+    batch_pattern_path_exists,
+    batch_safety_levels,
+    build_source_sample_tables,
+)
+from repro.core.array_api import to_numpy
+from repro.core.conditions import is_safe
+from repro.core.extensions import (
+    extension1_decision,
+    extension2_decision_from_segments,
+    extension3_decision,
+)
+from repro.core.pivots import random_pivots, recursive_center_pivots
+from repro.core.safety import SafetyLevels, compute_safety_levels
+from repro.core.segments import build_axis_segments
+from repro.faults.blocks import disable_fixpoint
+from repro.faults.coverage import minimal_path_exists
+from repro.faults.injection import uniform_faults, uniform_faults_batch
+from repro.mesh.frames import Frame
+from repro.mesh.geometry import Direction, Rect
+from repro.mesh.topology import Mesh2D
+
+
+def _all_4x4_patterns() -> np.ndarray:
+    bits = np.arange(1 << 16, dtype=np.uint32)
+    cells = (bits[:, None] >> np.arange(16, dtype=np.uint32)) & 1
+    return cells.astype(bool).reshape(-1, 4, 4)
+
+
+def _scalar_levels(mesh: Mesh2D, levels, index: int) -> SafetyLevels:
+    """Pattern ``index`` of a :class:`BatchedSafetyLevels` as the scalar type."""
+    return SafetyLevels(
+        mesh,
+        to_numpy(levels.east[index]),
+        to_numpy(levels.south[index]),
+        to_numpy(levels.west[index]),
+        to_numpy(levels.north[index]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Exhaustive 4x4
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def exhaustive():
+    """(patterns, blocked, unique_blocked) over every 4x4 fault pattern."""
+    patterns = _all_4x4_patterns()
+    chunks = [
+        to_numpy(batch_disable_fixpoint(patterns[start : start + 8192]))
+        for start in range(0, len(patterns), 8192)
+    ]
+    blocked = np.concatenate(chunks)
+    codes = blocked.reshape(-1, 16) @ (1 << np.arange(16, dtype=np.int64))
+    _, first = np.unique(codes, return_index=True)
+    return patterns, blocked, blocked[np.sort(first)]
+
+
+class TestExhaustive4x4:
+    def test_formation_matches_scalar(self, exhaustive):
+        patterns, blocked, _ = exhaustive
+        expected = np.stack([disable_fixpoint(grid) for grid in patterns])
+        np.testing.assert_array_equal(blocked, expected)
+
+    def test_esl_matches_scalar(self, exhaustive):
+        _, _, unique_blocked = exhaustive
+        mesh = Mesh2D(4, 4)
+        levels = batch_safety_levels(unique_blocked)
+        for index, grid in enumerate(unique_blocked):
+            expected = compute_safety_levels(mesh, grid)
+            got = _scalar_levels(mesh, levels, index)
+            np.testing.assert_array_equal(got.east, expected.east)
+            np.testing.assert_array_equal(got.south, expected.south)
+            np.testing.assert_array_equal(got.west, expected.west)
+            np.testing.assert_array_equal(got.north, expected.north)
+
+    @pytest.fixture(scope="class")
+    def condition_case(self, exhaustive):
+        """Every reachable blocked grid whose source node survives, with all
+        16 destinations -- exhaustive input space for the condition kernels."""
+        _, _, unique_blocked = exhaustive
+        mesh = Mesh2D(4, 4)
+        source = (1, 1)
+        grids = unique_blocked[~unique_blocked[:, source[0], source[1]]]
+        levels = batch_safety_levels(grids)
+        dests_one = np.array(
+            [(x, y) for x in range(4) for y in range(4)], dtype=np.int64
+        )
+        dests = np.broadcast_to(dests_one, (len(grids),) + dests_one.shape)
+        scalar = [_scalar_levels(mesh, levels, b) for b in range(len(grids))]
+        return mesh, grids, levels, source, dests, dests_one, scalar
+
+    def test_def3_matches_scalar(self, condition_case):
+        _, grids, levels, source, dests, dests_one, scalar = condition_case
+        mask = to_numpy(batch_pattern_is_safe(levels, source, dests))
+        for b in range(len(grids)):
+            expected = [
+                is_safe(scalar[b], source, tuple(map(int, dest)))
+                for dest in dests_one
+            ]
+            assert mask[b].tolist() == expected
+
+    @pytest.mark.parametrize("allow_sub_minimal", [False, True])
+    def test_extension1_matches_scalar(self, condition_case, allow_sub_minimal):
+        mesh, grids, levels, source, dests, dests_one, scalar = condition_case
+        mask = to_numpy(
+            batch_pattern_extension1(
+                grids, levels, source, dests, allow_sub_minimal=allow_sub_minimal
+            )
+        )
+        for b in range(len(grids)):
+            for i, dest in enumerate(dests_one):
+                decision = extension1_decision(
+                    mesh, scalar[b], grids[b], source, tuple(map(int, dest)),
+                    allow_sub_minimal=allow_sub_minimal,
+                )
+                expected = (
+                    decision.ensures_sub_minimal
+                    if allow_sub_minimal
+                    else decision.ensures_minimal
+                )
+                assert bool(mask[b, i]) == expected, (b, i)
+
+    @pytest.mark.parametrize("segment_size", [1, 2, None])
+    def test_extension2_matches_scalar(self, condition_case, segment_size):
+        mesh, grids, levels, source, dests, dests_one, scalar = condition_case
+        mask = to_numpy(
+            batch_pattern_extension2(
+                levels, source, dests, segment_size, (mesh.n, mesh.m)
+            )
+        )
+        frame = Frame(origin=source)
+        for b in range(len(grids)):
+            east = build_axis_segments(
+                mesh, scalar[b], frame, Direction.EAST, segment_size
+            )
+            north = build_axis_segments(
+                mesh, scalar[b], frame, Direction.NORTH, segment_size
+            )
+            for i, dest in enumerate(dests_one):
+                expected = extension2_decision_from_segments(
+                    scalar[b], source, tuple(map(int, dest)), east, north
+                ).ensures_minimal
+                assert bool(mask[b, i]) == expected, (b, i)
+
+    def test_extension3_matches_scalar(self, condition_case):
+        mesh, grids, levels, source, dests, dests_one, scalar = condition_case
+        region = Rect(source[0], mesh.n - 1, source[1], mesh.m - 1)
+        pivots = recursive_center_pivots(region, 2)
+        pivot_arr = np.array(pivots, dtype=np.int64).reshape(-1, 2)
+        mask = to_numpy(
+            batch_pattern_extension3(grids, levels, source, dests, pivot_arr)
+        )
+        for b in range(len(grids)):
+            for i, dest in enumerate(dests_one):
+                expected = extension3_decision(
+                    mesh, scalar[b], grids[b], source, tuple(map(int, dest)), pivots
+                ).ensures_minimal
+                assert bool(mask[b, i]) == expected, (b, i)
+
+    def test_path_exists_matches_scalar(self, condition_case):
+        _, grids, _, source, dests, dests_one, _ = condition_case
+        mask = to_numpy(batch_pattern_path_exists(grids, source, dests))
+        for b in range(len(grids)):
+            for i, dest in enumerate(dests_one):
+                if grids[b, dest[0], dest[1]]:
+                    continue  # the protocol only queries block-free endpoints
+                expected = minimal_path_exists(
+                    grids[b], source, tuple(map(int, dest))
+                )
+                assert bool(mask[b, i]) == expected, (b, i)
+
+
+# ----------------------------------------------------------------------
+# Seeded random 32x32
+# ----------------------------------------------------------------------
+
+
+SIDE = 32
+N_PATTERNS = 50
+
+
+@pytest.fixture(scope="module")
+def random_case():
+    """50 seeded random 32x32 patterns with per-pattern destinations in
+    every quadrant of the (central) source."""
+    mesh = Mesh2D(SIDE, SIDE)
+    source = mesh.center
+    rng = np.random.default_rng(99)
+    patterns = []
+    while len(patterns) < N_PATTERNS:
+        faults = uniform_faults(mesh, 40, rng, forbidden={source})
+        grid = np.zeros((SIDE, SIDE), dtype=bool)
+        for coord in faults:
+            grid[coord] = True
+        blocked = disable_fixpoint(grid)
+        if not blocked[source]:
+            patterns.append((grid, blocked))
+    faulty = np.stack([grid for grid, _ in patterns])
+    blocked = np.stack([blocked for _, blocked in patterns])
+    dests = np.zeros((N_PATTERNS, 24, 2), dtype=np.int64)
+    for b in range(N_PATTERNS):
+        free = np.argwhere(~blocked[b])
+        dests[b] = free[rng.integers(len(free), size=24)]
+    return mesh, source, faulty, blocked, dests
+
+
+class TestRandom32x32:
+    def test_formation_and_esl_match_scalar(self, random_case):
+        mesh, _, faulty, blocked, _ = random_case
+        got = to_numpy(batch_disable_fixpoint(faulty))
+        np.testing.assert_array_equal(got, blocked)
+        levels = batch_safety_levels(blocked)
+        for b in range(N_PATTERNS):
+            expected = compute_safety_levels(mesh, blocked[b])
+            got_b = _scalar_levels(mesh, levels, b)
+            np.testing.assert_array_equal(got_b.east, expected.east)
+            np.testing.assert_array_equal(got_b.south, expected.south)
+            np.testing.assert_array_equal(got_b.west, expected.west)
+            np.testing.assert_array_equal(got_b.north, expected.north)
+
+    def test_conditions_match_scalar(self, random_case):
+        mesh, source, _, blocked, dests = random_case
+        levels = batch_safety_levels(blocked)
+        region = Rect(source[0], mesh.n - 1, source[1], mesh.m - 1)
+        pivots = recursive_center_pivots(region, 3)
+        pivot_arr = np.array(pivots, dtype=np.int64).reshape(-1, 2)
+        safe = to_numpy(batch_pattern_is_safe(levels, source, dests))
+        ext1_min = to_numpy(
+            batch_pattern_extension1(
+                blocked, levels, source, dests, allow_sub_minimal=False
+            )
+        )
+        ext1_sub = to_numpy(
+            batch_pattern_extension1(
+                blocked, levels, source, dests, allow_sub_minimal=True
+            )
+        )
+        ext2 = to_numpy(
+            batch_pattern_extension2(levels, source, dests, 5, (mesh.n, mesh.m))
+        )
+        ext3 = to_numpy(
+            batch_pattern_extension3(blocked, levels, source, dests, pivot_arr)
+        )
+        exists = to_numpy(batch_pattern_path_exists(blocked, source, dests))
+        frame = Frame(origin=source)
+        for b in range(N_PATTERNS):
+            scalar = _scalar_levels(mesh, levels, b)
+            east = build_axis_segments(mesh, scalar, frame, Direction.EAST, 5)
+            north = build_axis_segments(mesh, scalar, frame, Direction.NORTH, 5)
+            for i in range(dests.shape[1]):
+                dest = (int(dests[b, i, 0]), int(dests[b, i, 1]))
+                assert bool(safe[b, i]) == is_safe(scalar, source, dest)
+                d_min = extension1_decision(
+                    mesh, scalar, blocked[b], source, dest,
+                    allow_sub_minimal=False,
+                )
+                d_sub = extension1_decision(
+                    mesh, scalar, blocked[b], source, dest,
+                    allow_sub_minimal=True,
+                )
+                assert bool(ext1_min[b, i]) == d_min.ensures_minimal
+                assert bool(ext1_sub[b, i]) == d_sub.ensures_sub_minimal
+                assert bool(ext2[b, i]) == extension2_decision_from_segments(
+                    scalar, source, dest, east, north
+                ).ensures_minimal
+                assert bool(ext3[b, i]) == extension3_decision(
+                    mesh, scalar, blocked[b], source, dest, pivots
+                ).ensures_minimal
+                assert bool(exists[b, i]) == minimal_path_exists(
+                    blocked[b], source, dest
+                )
+
+    def test_random_pivots_per_pattern(self, random_case):
+        """Ragged per-pattern pivot lists (the random schemes) via padding
+        + validity mask match the scalar decision pattern for pattern."""
+        mesh, source, _, blocked, dests = random_case
+        levels = batch_safety_levels(blocked)
+        rng = np.random.default_rng(7)
+        region = Rect(0, mesh.n - 1, 0, mesh.m - 1)
+        pivot_lists = [
+            random_pivots(region, 2, rng) for _ in range(N_PATTERNS)
+        ]
+        width = max(len(p) for p in pivot_lists)
+        padded = np.zeros((N_PATTERNS, width, 2), dtype=np.int64)
+        valid = np.zeros((N_PATTERNS, width), dtype=bool)
+        for b, pivots in enumerate(pivot_lists):
+            padded[b, : len(pivots)] = pivots
+            valid[b, : len(pivots)] = True
+        mask = to_numpy(
+            batch_pattern_extension3(
+                blocked, levels, source, dests, padded, pivot_valid=valid
+            )
+        )
+        for b in range(0, N_PATTERNS, 10):
+            scalar = _scalar_levels(mesh, levels, b)
+            for i in range(dests.shape[1]):
+                dest = (int(dests[b, i, 0]), int(dests[b, i, 1]))
+                expected = extension3_decision(
+                    mesh, scalar, blocked[b], source, dest, pivot_lists[b]
+                ).ensures_minimal
+                assert bool(mask[b, i]) == expected, (b, i)
+
+
+# ----------------------------------------------------------------------
+# Generator-stream fidelity
+# ----------------------------------------------------------------------
+
+
+class TestUniformFaultsBatch:
+    def test_bit_identical_over_100_seeds(self):
+        mesh = Mesh2D(16, 16)
+        forbidden = {mesh.center}
+        seeds = np.random.SeedSequence(1234).spawn(100)
+        counts = [1 + (i * 7) % 40 for i in range(100)]
+        batch_rngs = [np.random.default_rng(seed) for seed in seeds]
+        grids = uniform_faults_batch(mesh, counts, batch_rngs, forbidden)
+        for i, seed in enumerate(seeds):
+            rng = np.random.default_rng(seed)
+            faults = uniform_faults(mesh, counts[i], rng, forbidden)
+            expected = np.zeros((16, 16), dtype=bool)
+            for coord in faults:
+                expected[coord] = True
+            np.testing.assert_array_equal(grids[i], expected, err_msg=str(i))
+            # the generators advanced identically: next draws agree
+            assert batch_rngs[i].integers(1 << 30) == rng.integers(1 << 30)
+
+    def test_scalar_count_broadcasts(self):
+        mesh = Mesh2D(8, 8)
+        grids = uniform_faults_batch(mesh, 5, [1, 2, 3])
+        assert grids.shape == (3, 8, 8)
+        assert (grids.sum(axis=(1, 2)) == 5).all()
+
+
+# ----------------------------------------------------------------------
+# Engine-level equivalence
+# ----------------------------------------------------------------------
+
+
+def _snap(series):
+    return (
+        series.figure_id,
+        tuple(series.xs),
+        {
+            name: [(e.value, e.low, e.high) for e in points]
+            for name, points in series.series.items()
+        },
+    )
+
+
+class TestEngineEquivalence:
+    @pytest.fixture(scope="class")
+    def tiny_config(self):
+        from repro.experiments import ExperimentConfig
+
+        return ExperimentConfig.scaled(20, 3, 5, seed=31)
+
+    def test_fig9_batched_matches_scalar(self, tiny_config):
+        from repro.experiments.figures import fig9_extension1
+
+        scalar = fig9_extension1(tiny_config, engine="scalar")
+        batched = fig9_extension1(tiny_config, engine="batched")
+        assert _snap(batched) == _snap(scalar)
+
+    def test_fig12_batched_matches_scalar(self, tiny_config):
+        """Fig 12 exercises the random-pivot replay and the MCC metrics'
+        per-pattern fallback inside the batched shard evaluator."""
+        from repro.experiments.figures import fig12_strategies
+
+        scalar = fig12_strategies(tiny_config, engine="scalar")
+        batched = fig12_strategies(tiny_config, engine="batched")
+        assert _snap(batched) == _snap(scalar)
+
+    def test_fig9_strict_backend_matches(self, tiny_config):
+        from repro.experiments.figures import fig9_extension1
+
+        scalar = fig9_extension1(tiny_config, engine="scalar")
+        strict = fig9_extension1(tiny_config, engine="batched", backend="strict")
+        assert _snap(strict) == _snap(scalar)
+
+    def test_unknown_engine_rejected(self, tiny_config):
+        from repro.experiments.figures import fig9_extension1
+
+        with pytest.raises(ValueError, match="engine"):
+            fig9_extension1(tiny_config, engine="warp")
+
+    def test_unavailable_backend_fails_fast(self, tiny_config):
+        import importlib.util
+
+        from repro.experiments.figures import fig9_extension1
+
+        if importlib.util.find_spec("cupy") is not None:
+            pytest.skip("cupy present; nothing to fail fast on")
+        with pytest.raises(RuntimeError, match="cupy"):
+            fig9_extension1(tiny_config, engine="batched", backend="cupy")

@@ -208,11 +208,22 @@ class TestCompare:
 
     def test_one_sided_workloads_never_fail(self):
         old = _fake_result({"retired": 0.1, "common": 0.1})
-        new = _fake_result({"added": 0.1, "common": 0.1})
+        new = _fake_result({"added": 0.2, "common": 0.1})
         lines, regressed = compare_results(new, old, tolerance=0.0)
         assert regressed == []
-        assert any("in baseline only" in line for line in lines)
-        assert any("new workload" in line for line in lines)
+        removed = next(line for line in lines if "retired" in line)
+        assert removed.startswith("- retired: removed")
+        assert "in baseline only" in removed and "p50 100.00ms" in removed
+        added = next(line for line in lines if "added" in line)
+        assert added.startswith("+ added: added")
+        assert "no baseline" in added and "p50 200.00ms" in added
+
+    def test_one_sided_workload_without_wall_time(self):
+        old = _fake_result({})
+        new = {"schema": 1, "workloads": {"fresh": {}}}
+        lines, regressed = compare_results(new, old)
+        assert regressed == []
+        assert lines == ["+ fresh: added (no baseline, no wall-time recorded)"]
 
     def test_missing_p50_reported_not_fatal(self):
         old = _fake_result({"a": 0.1})
