@@ -434,4 +434,23 @@ def builtin_registry() -> BenchRegistry:
                 pass
         return delivered
 
+    @registry.register(
+        "serve.qps_sweep", kind="macro",
+        description="closed-loop QPS ramp against the routing service "
+        "under chaos fault churn (admission control + degradation live)",
+        repeats=2, quick_repeats=1,
+    )
+    def run_serve_sweep(state):
+        from repro.serve.loadgen import DEFAULT_STAGES, QUICK_STAGES, run_qps_sweep
+
+        config = state  # BenchConfig threaded through (no setup)
+        quick = getattr(config, "quick", False)
+        return run_qps_sweep(
+            side=_size(config, 32, 16),
+            faults=_size(config, 24, 10),
+            seed=config.seed,
+            stages=QUICK_STAGES if quick else DEFAULT_STAGES,
+            chaos_events=_size(config, 12, 8),
+        )
+
     return registry

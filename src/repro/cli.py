@@ -23,9 +23,17 @@ Subcommands cover the library's workflows:
   per-tick sparklines of queue depth and channel counters with an alert
   banner (``--once`` prints a single final frame for scripts);
 - ``serve-metrics``  run the chaos workload with a live HTTP exporter:
-  ``/metrics`` (Prometheus text), ``/series.json``, ``/healthz``;
-  ``--linger`` keeps serving after the run so scrapers can poll,
+  ``/metrics`` (Prometheus text), ``/series.json``, ``/healthz``,
+  ``/readyz``; ``--linger`` keeps serving after the run so scrapers can
+  poll (SIGTERM/SIGINT during the linger flips ``/readyz`` to 503,
+  drains within ``--grace``, and exits 0),
   ``--push``/``--series-out`` atomically write the final state to files;
+- ``serve``     routability queries as a service: an asyncio HTTP front
+  end answering "is (s,d) minimally routable, and by which strategy?"
+  against a live incremental fault engine, with admission control,
+  per-request deadlines, staleness-aware degraded answers, and a
+  circuit breaker (``/query``, ``/fault``, ``/healthz``, ``/readyz``,
+  ``/metrics``); SIGTERM/SIGINT drain gracefully and exit 0;
 - ``bench``     run the benchmark registry, write ``BENCH_<n>.json`` at the
   repo root, and optionally gate against a baseline (``--compare``).
 
@@ -249,6 +257,70 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--fail-on-alerts", action="store_true",
         help="exit 1 if any alert rule fired during the run",
+    )
+    serve.add_argument(
+        "--grace", type=float, default=2.0, metavar="SECONDS",
+        help="drain grace period for in-flight scrapes on shutdown (default 2)",
+    )
+
+    serve_live = sub.add_parser(
+        "serve",
+        help="answer routability queries over HTTP against live fault state",
+    )
+    _common_scenario_args(serve_live)
+    serve_live.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_live.add_argument(
+        "--port", type=int, default=0,
+        help="port to serve on (default 0: pick a free ephemeral port)",
+    )
+    serve_live.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="admission queue bound; beyond it requests shed with "
+        "'overloaded' (default 256)",
+    )
+    serve_live.add_argument(
+        "--workers", type=int, default=4,
+        help="async query workers draining the queue (default 4)",
+    )
+    serve_live.add_argument(
+        "--deadline-ms", type=float, default=50.0,
+        help="per-request deadline budget in milliseconds (default 50)",
+    )
+    serve_live.add_argument(
+        "--max-staleness", type=int, default=4,
+        help="snapshot generations a query tolerates before backoff-retry "
+        "(default 4)",
+    )
+    serve_live.add_argument(
+        "--no-mcc", action="store_true",
+        help="block model only: skip MCC tracking and the mcc query model",
+    )
+    serve_live.add_argument(
+        "--events", type=int, default=0,
+        help="background chaos events injected while serving (default 0: none)",
+    )
+    serve_live.add_argument(
+        "--event-interval", type=float, default=0.5, metavar="SECONDS",
+        help="delay between background chaos events (default 0.5)",
+    )
+    serve_live.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the background chaos schedule (default 0)",
+    )
+    serve_live.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="shut down gracefully after SECONDS (default: serve until signalled)",
+    )
+    serve_live.add_argument(
+        "--grace", type=float, default=5.0, metavar="SECONDS",
+        help="drain grace period for queued queries on shutdown (default 5)",
+    )
+    serve_live.add_argument(
+        "--notice", type=float, default=0.0, metavar="SECONDS",
+        help="hold /readyz at 503 this long before draining, so load "
+        "balancers observe the flip (default 0)",
     )
 
     bench = sub.add_parser(
@@ -969,7 +1041,9 @@ def _cmd_top(args, out: Callable[[str], None]) -> int:
 
 
 def _cmd_serve_metrics(args, out: Callable[[str], None]) -> int:
-    import time
+    import contextlib
+    import signal
+    import threading
 
     from repro.chaos import verify_convergence
     from repro.obs import MetricsServer, MetricsSink, Observatory, Tracer, use_tracer
@@ -977,10 +1051,35 @@ def _cmd_serve_metrics(args, out: Callable[[str], None]) -> int:
     if args.linger < 0:
         out(f"error: --linger must be >= 0, got {args.linger}")
         return 2
+    if args.grace < 0:
+        out(f"error: --grace must be >= 0, got {args.grace}")
+        return 2
     ingredients = _chaos_ingredients(args, out)
     if ingredients is None:
         return 2
     mesh, faults, plan, schedule = ingredients
+
+    # Graceful shutdown: SIGTERM/SIGINT during the linger flips /readyz
+    # to 503 and ends the wait early; the drain below bounds in-flight
+    # scrapes and the verb still exits 0 (an operator stop is not a
+    # failure).  Signal handlers only install on the main thread --
+    # elsewhere (tests driving main() from a worker) the linger simply
+    # runs its full course.
+    stop = threading.Event()
+
+    @contextlib.contextmanager
+    def _graceful_signals():
+        previous = {}
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, lambda *_: stop.set())
+            except ValueError:
+                pass
+        try:
+            yield
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
 
     # The metrics sink doubles as a tracer sink (protocol message
     # families on /metrics) and the sampler's per-kind message source.
@@ -989,40 +1088,157 @@ def _cmd_serve_metrics(args, out: Callable[[str], None]) -> int:
     tracer = Tracer(metrics)
     status = 0
     try:
-        with MetricsServer(
+        server = MetricsServer(
             observatory=observatory, metrics=metrics,
             host=args.host, port=args.port,
-        ) as server:
-            out(f"serving {server.url('/metrics')} (also /series.json, /healthz)")
+        )
+        with _graceful_signals():
+            server.start()
             try:
-                with use_tracer(tracer):
-                    report = verify_convergence(
-                        mesh, faults, plan, schedule,
-                        stabilize_rounds=args.pulses, seed=args.chaos_seed,
-                        observatory=observatory, maintenance=args.maintenance,
-                    )
+                out(
+                    f"serving {server.url('/metrics')} "
+                    "(also /series.json, /healthz, /readyz)"
+                )
+                try:
+                    with use_tracer(tracer):
+                        report = verify_convergence(
+                            mesh, faults, plan, schedule,
+                            stabilize_rounds=args.pulses, seed=args.chaos_seed,
+                            observatory=observatory, maintenance=args.maintenance,
+                        )
+                finally:
+                    tracer.close()
+                out(report.summary())
+                if not report.ok:
+                    status = 1
+                if args.fail_on_alerts and report.alerts:
+                    fired = ", ".join(sorted({alert.rule for alert in report.alerts}))
+                    out(f"FAIL: {len(report.alerts)} alert(s) fired: {fired}")
+                    status = 1
+                if args.linger > 0 and not stop.is_set():
+                    out(f"lingering {args.linger:g}s for scrapers")
+                    stop.wait(args.linger)
+                if stop.is_set():
+                    server.mark_draining()
+                    out("shutdown requested: /readyz now 503, draining")
+                if args.push is not None:
+                    server.write_metrics(args.push)
+                    out(f"wrote {args.push}")
+                if args.series_out is not None:
+                    server.write_series(args.series_out)
+                    out(f"wrote {args.series_out}")
             finally:
-                tracer.close()
-            out(report.summary())
-            if not report.ok:
-                status = 1
-            if args.fail_on_alerts and report.alerts:
-                fired = ", ".join(sorted({alert.rule for alert in report.alerts}))
-                out(f"FAIL: {len(report.alerts)} alert(s) fired: {fired}")
-                status = 1
-            if args.linger > 0:
-                out(f"lingering {args.linger:g}s for scrapers")
-                time.sleep(args.linger)
-            if args.push is not None:
-                server.write_metrics(args.push)
-                out(f"wrote {args.push}")
-            if args.series_out is not None:
-                server.write_series(args.series_out)
-                out(f"wrote {args.series_out}")
+                drained = server.drain(grace=args.grace)
+                if not drained:
+                    out(f"drain grace ({args.grace:g}s) expired with scrapes in flight")
     except OSError as error:
         out(f"error: {error}")
         return 1
     return status
+
+
+def _cmd_serve(args, out: Callable[[str], None]) -> int:
+    import asyncio
+
+    from repro.chaos.schedule import ChaosSchedule
+    from repro.faults.injection import uniform_faults
+    from repro.mesh.topology import Mesh2D
+    from repro.serve import QueryPipeline, RoutingService, ServeApp, run_app
+
+    for name, value, minimum in (
+        ("--queue-limit", args.queue_limit, 1),
+        ("--workers", args.workers, 1),
+        ("--max-staleness", args.max_staleness, 0),
+        ("--grace", args.grace, 0),
+        ("--notice", args.notice, 0),
+        ("--events", args.events, 0),
+    ):
+        if value < minimum:
+            out(f"error: {name} must be >= {minimum}, got {value}")
+            return 2
+    if args.deadline_ms <= 0:
+        out(f"error: --deadline-ms must be > 0, got {args.deadline_ms}")
+        return 2
+    if args.ttl is not None and args.ttl <= 0:
+        out(f"error: --ttl must be > 0, got {args.ttl}")
+        return 2
+
+    mesh = Mesh2D(args.side, args.side)
+    rng = np.random.default_rng(args.seed)
+    faults = uniform_faults(mesh, args.faults, rng, forbidden={mesh.center})
+    service = RoutingService(mesh, faults, mcc_model=not args.no_mcc)
+    pipeline = QueryPipeline(
+        service,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        deadline_s=args.deadline_ms / 1e3,
+        max_staleness=args.max_staleness,
+    )
+    app = ServeApp(
+        service, pipeline,
+        host=args.host, port=args.port,
+        grace_s=args.grace, notice_s=args.notice,
+    )
+
+    schedule = None
+    if args.events > 0:
+        schedule = ChaosSchedule.random(
+            mesh, np.random.default_rng(args.chaos_seed),
+            events=args.events, horizon=max(2.0, float(args.events)),
+            forbidden=set(faults) | {mesh.center},
+        )
+
+    async def _main() -> int:
+        churn_task = None
+
+        def on_ready(ready_app: ServeApp) -> None:
+            nonlocal churn_task
+            out(
+                f"serving {ready_app.url('/query')} "
+                "(also /fault, /healthz, /readyz, /metrics)"
+            )
+            out(
+                f"{mesh}: {len(faults)} faults at generation 0; "
+                f"queue={args.queue_limit} workers={args.workers} "
+                f"deadline={args.deadline_ms:g}ms max-staleness={args.max_staleness}"
+            )
+            if schedule is not None:
+                out(
+                    f"background churn: {len(schedule)} chaos events every "
+                    f"{args.event_interval:g}s"
+                )
+
+                async def _churn() -> None:
+                    for event in schedule:
+                        await asyncio.sleep(args.event_interval)
+                        try:
+                            pipeline.ingest_fault(event.action, event.coord)
+                        except ValueError:
+                            pass  # absorbed by block formation already
+
+                churn_task = asyncio.create_task(_churn())
+
+        try:
+            status = await run_app(app, ttl_s=args.ttl, on_ready=on_ready)
+        finally:
+            if churn_task is not None:
+                churn_task.cancel()
+        stats = pipeline.stats()
+        counters = stats["counters"]
+        out(
+            f"drained: {counters.get('served', 0)} served, "
+            f"{counters.get('shed_overload', 0) + counters.get('shed_deadline', 0)} shed, "
+            f"{counters.get('degraded', 0)} degraded, "
+            f"{counters.get('faults_ingested', 0)} fault events, "
+            f"generation {service.generation}"
+        )
+        return status
+
+    try:
+        return asyncio.run(_main())
+    except OSError as error:
+        out(f"error: {error}")
+        return 1
 
 
 def _cmd_replay(args, out: Callable[[str], None]) -> int:
@@ -1169,6 +1385,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "top": _cmd_top,
     "serve-metrics": _cmd_serve_metrics,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "protocols": _cmd_protocols,
     "memory": _cmd_memory,

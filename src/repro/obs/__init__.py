@@ -107,7 +107,11 @@ from repro.obs.prof import (
     set_profiler,
     use_profiler,
 )
-from repro.obs.prometheus import render_prometheus, render_timeseries
+from repro.obs.prometheus import (
+    ExpositionWriter,
+    render_prometheus,
+    render_timeseries,
+)
 from repro.obs.server import MetricsServer, atomic_write_text
 from repro.obs.sinks import (
     JsonlDecodeError,
@@ -186,6 +190,7 @@ __all__ = [
     "read_index",
     "read_jsonl",
     "read_recording",
+    "ExpositionWriter",
     "render_lineage",
     "render_prometheus",
     "render_timeseries",

@@ -71,9 +71,22 @@ def _series(name: str, labels: dict[str, str] | None, value: Any) -> str:
     return f"{name} {_num(value)}"
 
 
-class _Writer:
+class ExpositionWriter:
+    """Incrementally builds a Prometheus text-format exposition.
+
+    Public so other exporters (the serve front end's ``/metrics``) can
+    emit families with the same escaping/formatting discipline as the
+    built-in renderers; call :meth:`text` for the final body.
+    """
+
     def __init__(self) -> None:
         self.lines: list[str] = []
+
+    def text(self) -> str:
+        """The exposition body so far ('' when no family was emitted)."""
+        if not self.lines:
+            return ""
+        return "\n".join(self.lines) + "\n"
 
     def header(self, name: str, metric_type: str, help_text: str) -> None:
         self.lines.append(f"# HELP {name} {help_text}")
@@ -128,7 +141,7 @@ def render_prometheus(
 ) -> str:
     """Render a :class:`~repro.obs.metrics.MetricsSink` snapshot (and an
     optional :meth:`~repro.obs.prof.Profiler.snapshot`) as Prometheus text."""
-    w = _Writer()
+    w = ExpositionWriter()
     w.counter_family(
         f"{prefix}_events_total", "Trace events recorded, by kind.",
         "kind", snapshot.get("events", {}),
@@ -221,7 +234,7 @@ def render_timeseries(
     dotted series names (``net.carried``) out of the metric name, where
     Prometheus forbids them.
     """
-    w = _Writer()
+    w = ExpositionWriter()
     last = store.last_row()
     if last:
         name = f"{prefix}_live_sample"

@@ -12,6 +12,11 @@ serve-metrics``, or any protocol run) can be scraped while it drains:
 - ``GET /healthz`` -- ``{"status": "ok"}`` with 200, or
   ``{"status": "alerting", ...}`` with 503 while any alert rule is
   breaching, so a poller (or CI) turns alert regressions into failures.
+- ``GET /readyz`` -- readiness (distinct from health): 200 while the
+  server is accepting work, 503 once :meth:`MetricsServer.mark_draining`
+  has run.  A load balancer stops routing on the 503 while ``/healthz``
+  keeps reporting liveness, which is what makes graceful shutdown
+  observable: flip readiness, drain in-flight requests, then exit 0.
 
 Scrapes read shared state only through :class:`SampleStore`'s lock and
 the GIL-atomic counter reads of ``MetricsSink.snapshot``, so the
@@ -96,6 +101,10 @@ class MetricsServer:
         self._httpd.daemon_threads = True
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: threading.Thread | None = None
+        self._ready = True
+        self._inflight = 0
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
 
     # ------------------------------------------------------------------
     # Payloads (also the push-to-file bodies)
@@ -128,6 +137,18 @@ class MetricsServer:
         body = self.observatory.healthz()
         return (503 if body["status"] == "alerting" else 200), body
 
+    def readyz(self) -> tuple[int, dict[str, Any]]:
+        """(status code, body) for ``/readyz``: 503 once draining."""
+        with self._state_lock:
+            ready = self._ready
+            inflight = self._inflight
+        status = "ready" if ready else "draining"
+        return (200 if ready else 503), {
+            "status": status,
+            "ready": ready,
+            "inflight": inflight,
+        }
+
     def write_metrics(self, path: str) -> None:
         """Push mode: publish the ``/metrics`` body atomically to a file."""
         atomic_write_text(path, self.render_metrics())
@@ -142,32 +163,52 @@ class MetricsServer:
     # HTTP plumbing
     # ------------------------------------------------------------------
     def _handle(self, request: BaseHTTPRequestHandler) -> None:
-        path = request.path.split("?", 1)[0]
+        with self._state_lock:
+            self._inflight += 1
+        try:
+            code, payload, content_type = self._render(request.path)
+            self._respond(request, code, payload, content_type)
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def _render(self, raw_path: str) -> tuple[int, bytes, str]:
+        """Build the complete encoded payload for ``raw_path``.
+
+        Bodies are encoded to bytes *before* any header is written, so
+        ``Content-Length`` is always measured on the final byte string --
+        a concurrently-appending :class:`SampleStore` can grow between
+        two scrapes but never between a scrape's header and its body.
+        """
+        json_type = "application/json"
+        path = raw_path.split("?", 1)[0]
         if path == "/metrics":
-            self._respond(
-                request, 200, self.render_metrics(),
+            return (
+                200,
+                self.render_metrics().encode("utf-8"),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
-        elif path == "/series.json":
-            body = json.dumps(self.series_json(), sort_keys=True)
-            self._respond(request, 200, body, "application/json")
-        elif path == "/healthz":
-            code, payload = self.healthz()
-            self._respond(request, code, json.dumps(payload, sort_keys=True),
-                          "application/json")
-        else:
-            self._respond(
-                request, 404,
-                json.dumps({"error": f"unknown path {path!r}",
-                            "paths": ["/metrics", "/series.json", "/healthz"]}),
-                "application/json",
-            )
+        if path == "/series.json":
+            payload = json.dumps(self.series_json(), sort_keys=True).encode("utf-8")
+            return 200, payload, json_type
+        if path == "/healthz":
+            code, body = self.healthz()
+            return code, json.dumps(body, sort_keys=True).encode("utf-8"), json_type
+        if path == "/readyz":
+            code, body = self.readyz()
+            return code, json.dumps(body, sort_keys=True).encode("utf-8"), json_type
+        body = {
+            "error": f"unknown path {path!r}",
+            "paths": ["/metrics", "/series.json", "/healthz", "/readyz"],
+        }
+        return 404, json.dumps(body).encode("utf-8"), json_type
 
     @staticmethod
     def _respond(
-        request: BaseHTTPRequestHandler, code: int, body: str, content_type: str
+        request: BaseHTTPRequestHandler, code: int, payload: bytes, content_type: str
     ) -> None:
-        payload = body.encode("utf-8")
         request.send_response(code)
         request.send_header("Content-Type", content_type)
         request.send_header("Content-Length", str(len(payload)))
@@ -190,6 +231,34 @@ class MetricsServer:
         )
         self._thread.start()
         return self
+
+    def mark_ready(self) -> None:
+        """Flip ``/readyz`` back to 200 (e.g. after a paused drain)."""
+        with self._state_lock:
+            self._ready = True
+
+    def mark_draining(self) -> None:
+        """Flip ``/readyz`` to 503 without stopping the server.
+
+        Pollers see the flip immediately; already-accepted requests keep
+        being served, which is the window :meth:`drain` bounds.
+        """
+        with self._state_lock:
+            self._ready = False
+
+    def drain(self, grace: float = 5.0) -> bool:
+        """Graceful shutdown: unready, wait out in-flight scrapes, stop.
+
+        Marks the server draining, waits up to ``grace`` seconds for
+        in-flight handlers to finish, then stops the listener either way
+        (handler threads are daemons, so stragglers cannot hang exit).
+        Returns True when the drain completed within the grace period.
+        """
+        self.mark_draining()
+        with self._idle:
+            drained = self._idle.wait_for(lambda: self._inflight == 0, timeout=grace)
+        self.stop()
+        return drained
 
     def stop(self) -> None:
         if self._thread is None:

@@ -16,12 +16,18 @@ on top of the batched kernels in :mod:`repro.core.batched`:
   serial and parallel runs produce bit-identical results.
 """
 
-from repro.parallel.cache import ArtifactCache, get_artifact_cache, use_artifact_cache
+from repro.parallel.cache import (
+    ArtifactCache,
+    StaleArtifactError,
+    get_artifact_cache,
+    use_artifact_cache,
+)
 from repro.parallel.pool import ShardPlan, plan_shards
 
 __all__ = [
     "ArtifactCache",
     "ShardPlan",
+    "StaleArtifactError",
     "get_artifact_cache",
     "plan_shards",
     "use_artifact_cache",

@@ -1,0 +1,50 @@
+"""Routing as a service: async query serving over live fault state.
+
+The serving layer the engines were built for -- it answers the paper's
+question ("is (s, d) minimally routable, and by which strategy?") over
+HTTP against an :class:`~repro.faults.incremental.IncrementalFaultEngine`
+that keeps absorbing fault arrivals and revivals underneath it, and it
+is designed robustness-first: every failure mode has an explicit,
+observable response instead of a collapse.
+
+- :mod:`repro.serve.service` -- :class:`RoutingService`: immutable
+  generation-fenced snapshots (never a torn read), the Def-3/Ext-1/2/3
+  decision cascade, cached path witnesses, degradation tiers, and the
+  alert-rule-driven :class:`ServiceBreaker`;
+- :mod:`repro.serve.pipeline` -- :class:`QueryPipeline`: bounded-queue
+  admission control, per-request deadline budgets, exponential-backoff
+  retry for transiently-stale snapshots, heartbeat-fed breaker;
+- :mod:`repro.serve.http` -- :class:`ServeApp`: the asyncio HTTP front
+  end (``/query``, ``/fault``, ``/healthz``, ``/readyz``, ``/metrics``)
+  with SIGTERM/SIGINT graceful drain;
+- :mod:`repro.serve.loadgen` -- :func:`run_qps_sweep`: the closed-loop
+  QPS-ramp-under-chaos generator behind the ``serve.qps_sweep`` bench
+  workload and its CI latency gate.
+"""
+
+from repro.serve.http import ServeApp, run_app
+from repro.serve.loadgen import run_qps_sweep
+from repro.serve.pipeline import QueryPipeline, QueryRequest, QueryResult
+from repro.serve.service import (
+    QueryAnswer,
+    QueryError,
+    RoutingService,
+    ServeSnapshot,
+    ServiceBreaker,
+    default_breaker_rules,
+)
+
+__all__ = [
+    "QueryAnswer",
+    "QueryError",
+    "QueryPipeline",
+    "QueryRequest",
+    "QueryResult",
+    "RoutingService",
+    "ServeApp",
+    "ServeSnapshot",
+    "ServiceBreaker",
+    "default_breaker_rules",
+    "run_app",
+    "run_qps_sweep",
+]

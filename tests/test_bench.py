@@ -63,6 +63,13 @@ class TestRegistry:
         assert "micro.esl_compute" in registry
         assert "macro.fig9_sweep" in registry
 
+    def test_serve_sweep_registered_as_macro(self):
+        registry = builtin_registry()
+        assert "serve.qps_sweep" in registry
+        workload = registry.get("serve.qps_sweep")
+        assert workload.kind == "macro"
+        assert workload.setup is None  # receives BenchConfig directly
+
     def test_incremental_vs_full_rebuild_pair_registered(self):
         """The delta-maintenance headline pair shares one setup so the
         p50 ratio is the per-event maintenance speedup."""

@@ -245,6 +245,75 @@ class TestServeMetricsVerb:
         assert code == 2
         assert "--linger" in output
 
+    def test_grace_validation(self):
+        code, output = _run(["serve-metrics", "--side", "10", "--grace", "-1"])
+        assert code == 2
+        assert "--grace" in output
+
+
+class TestServeVerb:
+    def test_ttl_run_serves_and_drains(self):
+        code, output = _run(
+            ["serve", "--side", "10", "--faults", "4", "--seed", "3",
+             "--ttl", "0.5", "--events", "2", "--event-interval", "0.05"]
+        )
+        assert code == 0
+        assert "serving http://" in output and "/query" in output
+        assert "drained:" in output
+        assert "generation 2" in output  # both chaos events landed
+
+    def test_live_queries_over_http(self):
+        import json
+        import threading
+        import urllib.request
+
+        from repro.cli import main
+
+        lines: list[str] = []
+        banner = threading.Event()
+
+        def out(line: str) -> None:
+            lines.append(line)
+            if "serving http://" in line:
+                banner.set()
+
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--side", "10", "--faults", "4", "--seed", "3",
+                   "--ttl", "3"], out),
+        )
+        thread.start()
+        try:
+            assert banner.wait(timeout=10), lines
+            base = lines[0].split()[1].rsplit("/query", 1)[0]
+            with urllib.request.urlopen(
+                base + "/query?source=0,0&dest=9,9", timeout=5
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            assert payload["status"] == "ok"
+            assert payload["answer"]["generation"] == 0
+            assert payload["answer"]["verdict"] in (
+                "source-safe", "preferred-neighbor-safe", "axis-node-safe",
+                "pivot-safe", "spare-neighbor-safe", "unsafe",
+                "blocked-endpoint",
+            )
+        finally:
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    @pytest.mark.parametrize("argv, flag", [
+        (["serve", "--workers", "0"], "--workers"),
+        (["serve", "--queue-limit", "0"], "--queue-limit"),
+        (["serve", "--deadline-ms", "0"], "--deadline-ms"),
+        (["serve", "--max-staleness", "-1"], "--max-staleness"),
+        (["serve", "--ttl", "0"], "--ttl"),
+        (["serve", "--notice", "-1"], "--notice"),
+    ])
+    def test_argument_validation(self, argv, flag):
+        code, output = _run(argv)
+        assert code == 2
+        assert flag in output
+
 
 @pytest.fixture(scope="module")
 def recording(tmp_path_factory):

@@ -101,6 +101,96 @@ class TestEndpoints:
             server.stop()
 
 
+class TestReadiness:
+    def test_readyz_ready_then_draining_503(self):
+        with MetricsServer(observatory=_observed_observatory()) as server:
+            status, body, _ = _get(server.url("/readyz"))
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["status"] == "ready"
+            assert payload["inflight"] == 1  # this scrape counts itself
+
+            server.mark_draining()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url("/readyz"))
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert payload["status"] == "draining"
+
+            server.mark_ready()
+            status, _, _ = _get(server.url("/readyz"))
+            assert status == 200
+
+    def test_drain_idle_server_stops_immediately(self):
+        server = MetricsServer(observatory=_observed_observatory()).start()
+        url = server.url("/readyz")
+        assert _get(url)[0] == 200
+        assert server.drain(grace=1.0) is True
+        with pytest.raises(urllib.error.URLError):
+            _get(url)
+
+    def test_draining_still_serves_scrapes(self):
+        # Out of rotation is not down: /metrics keeps answering so the
+        # final scrape during a rolling restart still lands.
+        with MetricsServer(observatory=_observed_observatory()) as server:
+            server.mark_draining()
+            status, body, _ = _get(server.url("/metrics"))
+            assert status == 200
+            parse(body)
+
+
+class TestConcurrentScrapes:
+    def test_series_json_content_length_under_churn(self):
+        # Regression: /series.json used to compute Content-Length from
+        # the *character* count of a payload rendered once and the body
+        # from a second render -- a store append between the two (or any
+        # non-ASCII sample name) produced a short read.  Bodies are now
+        # encoded to bytes first, so every concurrent response must be
+        # exactly its declared length and parse as JSON.
+        import threading
+
+        observatory = _observed_observatory()
+        errors: list[str] = []
+        with MetricsServer(observatory=observatory) as server:
+            url = server.url("/series.json")
+            stop = threading.Event()
+
+            def churn():
+                tick = 3.0
+                while not stop.is_set():
+                    observatory.store.append(tick, {"q": tick, "r": 2 * tick})
+                    tick += 1.0
+
+            def scrape():
+                for _ in range(20):
+                    try:
+                        status, body, headers = _get(url)
+                    except OSError as exc:  # pragma: no cover - failure detail
+                        errors.append(f"scrape failed: {exc}")
+                        return
+                    declared = int(headers["Content-Length"])
+                    actual = len(body.encode("utf-8"))
+                    if declared != actual:
+                        errors.append(f"Content-Length {declared} != {actual}")
+                        return
+                    try:
+                        json.loads(body)
+                    except ValueError as exc:
+                        errors.append(f"torn JSON body: {exc}")
+                        return
+
+            writer = threading.Thread(target=churn)
+            scrapers = [threading.Thread(target=scrape) for _ in range(4)]
+            writer.start()
+            for thread in scrapers:
+                thread.start()
+            for thread in scrapers:
+                thread.join()
+            stop.set()
+            writer.join()
+        assert errors == []
+
+
 class TestPushMode:
     def test_write_metrics_and_series(self, tmp_path):
         observatory = _observed_observatory()

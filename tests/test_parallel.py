@@ -8,7 +8,12 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import fig9_metrics
 from repro.experiments.runner import BLOCK_MODEL, ConditionExperiment, MetricSpec
 from repro.obs.prof import Profiler, use_profiler
-from repro.parallel.cache import ArtifactCache, get_artifact_cache, use_artifact_cache
+from repro.parallel.cache import (
+    ArtifactCache,
+    StaleArtifactError,
+    get_artifact_cache,
+    use_artifact_cache,
+)
 from repro.parallel.pool import pattern_seed_tree, plan_shards
 
 
@@ -155,6 +160,87 @@ class TestArtifactCache:
             )
         assert profiler.hot["cache.stale"] == 1
         assert profiler.hot["cache.revalidated"] == 1
+
+
+class TestStalenessBudget:
+    def test_within_budget_still_revalidates(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1, generation=1)
+        got = cache.get_or_build(
+            "k", lambda: 2, generation=3,
+            revalidate=lambda v, t: True, max_staleness_generations=2,
+        )
+        assert got == 1
+        assert cache.stats()["revalidated"] == 1
+
+    def test_over_budget_raises_typed_error(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1, generation=1)
+        with pytest.raises(StaleArtifactError) as excinfo:
+            cache.get_or_build(
+                "k", lambda: 2, generation=5,
+                revalidate=lambda v, t: True, max_staleness_generations=2,
+            )
+        error = excinfo.value
+        assert error.key == "k"
+        assert error.tag == 1
+        assert error.generation == 5
+        assert error.age == 4
+        assert "4 generation(s) old" in str(error)
+        assert cache.stats()["stale"] == 1
+        # The entry survives: a later within-budget call can still
+        # revalidate it instead of rebuilding.
+        assert cache.get_or_build(
+            "k", lambda: 2, generation=5, revalidate=lambda v, t: True,
+        ) == 1
+
+    def test_untagged_entry_over_any_budget(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1)  # no generation tag
+        with pytest.raises(StaleArtifactError) as excinfo:
+            cache.get_or_build(
+                "k", lambda: 2, generation=1, max_staleness_generations=10,
+            )
+        assert excinfo.value.tag is None
+        assert excinfo.value.age is None
+
+    def test_current_generation_ignores_budget(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1, generation=4)
+        got = cache.get_or_build(
+            "k", lambda: 2, generation=4, max_staleness_generations=0,
+        )
+        assert got == 1  # fresh: plain hit, budget irrelevant
+
+    def test_default_budget_is_unlimited(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1, generation=1)
+        got = cache.get_or_build(
+            "k", lambda: 2, generation=100, revalidate=lambda v, t: True,
+        )
+        assert got == 1
+
+    def test_stale_error_is_a_lookup_error(self):
+        assert issubclass(StaleArtifactError, LookupError)
+
+
+class TestPeekAndDrop:
+    def test_peek_returns_without_accounting(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1, generation=3)
+        before = cache.stats()
+        assert cache.peek("k") == 1
+        assert cache.generation_of("k") == 3
+        assert cache.peek("missing") is None
+        assert cache.peek("missing", default="d") == "d"
+        assert cache.stats() == before
+
+    def test_drop_removes_entry(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1)
+        assert cache.drop("k") is True
+        assert "k" not in cache
+        assert cache.drop("k") is False
 
 
 class TestExperimentCacheReuse:
